@@ -1,0 +1,109 @@
+// MICRO — google-benchmark microbenchmarks of the hot primitives: SHA-256,
+// Merkle trees, entropy metrics, configuration digests, analyzer runs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "config/sampler.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "diversity/analyzer.h"
+#include "diversity/datasets.h"
+#include "diversity/metrics.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace findep;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<crypto::Digest> leaves;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256{}
+                         .update_u64(static_cast<std::uint64_t>(i))
+                         .finish());
+  }
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<crypto::Digest> leaves;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256{}
+                         .update_u64(static_cast<std::uint64_t>(i))
+                         .finish());
+  }
+  const crypto::MerkleTree tree(leaves);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const auto proof = tree.prove(index);
+    benchmark::DoNotOptimize(
+        crypto::MerkleTree::verify(leaves[index], proof, tree.root()));
+    index = (index + 1) % leaves.size();
+  }
+}
+BENCHMARK(BM_MerkleProveVerify)->Arg(1024);
+
+void BM_ShannonEntropy(benchmark::State& state) {
+  support::Rng rng(1);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.uniform(0.01, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diversity::shannon_entropy(weights));
+  }
+}
+BENCHMARK(BM_ShannonEntropy)->Arg(17)->Arg(1000)->Arg(100000);
+
+void BM_Figure1Series(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diversity::datasets::figure1_entropy_series(
+            static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Figure1Series)->Arg(100)->Arg(1000);
+
+void BM_ConfigDigest(benchmark::State& state) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+  support::Rng rng(2);
+  const auto cfg = sampler.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg.digest());
+  }
+}
+BENCHMARK(BM_ConfigDigest);
+
+void BM_AnalyzePopulation(benchmark::State& state) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(
+      catalog, config::SamplerOptions{.zipf_exponent = 1.0,
+                                      .attestable_fraction = 0.5});
+  support::Rng rng(3);
+  std::vector<diversity::ReplicaRecord> population;
+  for (const auto& cfg : sampler.sample_population(
+           rng, static_cast<std::size_t>(state.range(0)))) {
+    population.push_back(diversity::ReplicaRecord{cfg, 1.0, true});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diversity::DiversityAnalyzer::analyze(population));
+  }
+}
+BENCHMARK(BM_AnalyzePopulation)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,39 @@
+#include "attest/authority.h"
+
+#include "support/rng.h"
+
+namespace findep::attest {
+
+namespace {
+crypto::Digest endorsement_message(const crypto::PublicKey& platform_key,
+                                   config::ComponentId hardware) {
+  return crypto::Sha256{}
+      .update("findep/endorsement/v1")
+      .update(platform_key.id.bytes)
+      .update_u64(hardware.value)
+      .finish();
+}
+}  // namespace
+
+AttestationAuthority::AttestationAuthority(crypto::KeyRegistry& registry,
+                                           support::Rng& rng)
+    : keys_(crypto::KeyPair::generate(rng)) {
+  registry.enroll(keys_);
+}
+
+Endorsement AttestationAuthority::endorse(
+    const crypto::PublicKey& platform_key,
+    config::ComponentId hardware) const {
+  return Endorsement{platform_key, hardware,
+                     keys_.sign(endorsement_message(platform_key, hardware))};
+}
+
+bool AttestationAuthority::verify(const crypto::KeyRegistry& registry,
+                                  const crypto::PublicKey& root,
+                                  const Endorsement& endorsement) {
+  return registry.verify(
+      root, endorsement_message(endorsement.platform_key, endorsement.hardware),
+      endorsement.signature);
+}
+
+}  // namespace findep::attest

@@ -1,0 +1,50 @@
+// Attestation authority — the trust anchor of the remote-attestation model
+// (§III-B).
+//
+// Real deployments root attestation in vendor-provisioned hardware keys
+// (TPM endorsement keys, SGX provisioning certificates) or in a unified
+// service (Microsoft Azure Attestation, cited by the paper). We model the
+// anchor as an authority that *endorses* platform keys: an endorsement is
+// the authority's signature over (platform public key, trusted-hardware
+// component). Everything downstream — quotes, vote-key binding, registry
+// verification — builds on these endorsements.
+#pragma once
+
+#include "config/component.h"
+#include "crypto/keys.h"
+
+namespace findep::attest {
+
+/// A vendor/authority statement that `platform_key` belongs to a genuine
+/// device of type `hardware`.
+struct Endorsement {
+  crypto::PublicKey platform_key;
+  config::ComponentId hardware;
+  crypto::Signature signature;
+};
+
+/// Issues and verifies endorsements.
+class AttestationAuthority {
+ public:
+  /// Creates an authority with a fresh root key, enrolled in `registry`.
+  AttestationAuthority(crypto::KeyRegistry& registry, support::Rng& rng);
+
+  [[nodiscard]] const crypto::PublicKey& root_key() const noexcept {
+    return keys_.public_key();
+  }
+
+  /// Endorses a platform key for a trusted-hardware component.
+  [[nodiscard]] Endorsement endorse(const crypto::PublicKey& platform_key,
+                                    config::ComponentId hardware) const;
+
+  /// Verifies an endorsement against this authority's root key using the
+  /// given registry (any verifier can run this).
+  [[nodiscard]] static bool verify(const crypto::KeyRegistry& registry,
+                                   const crypto::PublicKey& root,
+                                   const Endorsement& endorsement);
+
+ private:
+  crypto::KeyPair keys_;
+};
+
+}  // namespace findep::attest

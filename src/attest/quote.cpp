@@ -1,0 +1,84 @@
+#include "attest/quote.h"
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::attest {
+
+ConfigCommitment ConfigCommitment::commit(
+    const config::ConfigurationId& config_digest,
+    const crypto::Digest& salt) {
+  return ConfigCommitment{crypto::Sha256{}
+                              .update("findep/config-commit/v1")
+                              .update(config_digest.bytes)
+                              .update(salt.bytes)
+                              .finish()};
+}
+
+PlatformModule::PlatformModule(crypto::KeyRegistry& registry,
+                               support::Rng& rng,
+                               const AttestationAuthority& authority,
+                               config::ComponentId hardware,
+                               config::ReplicaConfiguration configuration)
+    : platform_keys_(crypto::KeyPair::generate(rng)),
+      vote_keys_(crypto::KeyPair::generate(rng)),
+      endorsement_(authority.endorse(platform_keys_.public_key(), hardware)),
+      configuration_(std::move(configuration)) {
+  FINDEP_REQUIRE_MSG(
+      configuration_.component(config::ComponentKind::kTrustedHardware) ==
+          std::optional<config::ComponentId>(hardware),
+      "platform hardware must match the configuration's TEE component");
+  registry.enroll(platform_keys_);
+  registry.enroll(vote_keys_);
+  for (std::size_t i = 0; i < salt_.bytes.size(); i += 8) {
+    const std::uint64_t word = rng();
+    for (std::size_t j = 0; j < 8; ++j) {
+      salt_.bytes[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+}
+
+Quote PlatformModule::quote(const crypto::Digest& nonce) const {
+  Quote q;
+  q.platform_key = platform_keys_.public_key();
+  q.endorsement = endorsement_;
+  q.vote_key = vote_keys_.public_key();
+  q.commitment = ConfigCommitment::commit(configuration_.digest(), salt_);
+  q.nonce = nonce;
+  q.signature = platform_keys_.sign(quote_message(q));
+  return q;
+}
+
+CommitmentOpening PlatformModule::open_commitment() const {
+  return CommitmentOpening{configuration_.digest(), salt_};
+}
+
+crypto::Digest quote_message(const Quote& q) {
+  return crypto::Sha256{}
+      .update("findep/quote/v1")
+      .update(q.platform_key.id.bytes)
+      .update(q.vote_key.id.bytes)
+      .update(q.commitment.value.bytes)
+      .update(q.nonce.bytes)
+      .finish();
+}
+
+bool verify_quote(const crypto::KeyRegistry& registry,
+                  const crypto::PublicKey& authority_root, const Quote& q,
+                  const crypto::Digest& expected_nonce) {
+  if (q.nonce != expected_nonce) return false;
+  if (q.endorsement.platform_key != q.platform_key) return false;
+  if (!AttestationAuthority::verify(registry, authority_root,
+                                    q.endorsement)) {
+    return false;
+  }
+  return registry.verify(q.platform_key, quote_message(q), q.signature);
+}
+
+bool verify_opening(const ConfigCommitment& commitment,
+                    const CommitmentOpening& opening) {
+  return ConfigCommitment::commit(opening.config_digest, opening.salt) ==
+         commitment;
+}
+
+}  // namespace findep::attest

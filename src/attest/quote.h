@@ -1,0 +1,102 @@
+// Quotes: the replica side of remote attestation.
+//
+// A `PlatformModule` models the TEE/TPM inside a replica. Given a verifier
+// nonce it emits a `Quote` that simultaneously (Remark 3):
+//  - measures the replica's configuration (as a salted *commitment*, so
+//    configuration privacy is preserved against eavesdroppers — attackers
+//    must not learn which replicas run a newly-vulnerable component),
+//  - binds the replica's *vote key* to the measurement, proving that votes
+//    signed with that key come from the attested configuration,
+//  - proves freshness via the nonce.
+#pragma once
+
+#include <optional>
+
+#include "attest/authority.h"
+#include "config/replica_config.h"
+#include "crypto/keys.h"
+
+namespace findep::attest {
+
+/// Salted commitment to a configuration digest.
+struct ConfigCommitment {
+  crypto::Digest value;
+
+  bool operator==(const ConfigCommitment&) const = default;
+
+  [[nodiscard]] static ConfigCommitment commit(
+      const config::ConfigurationId& config_digest,
+      const crypto::Digest& salt);
+};
+
+/// The attestation evidence a replica presents.
+struct Quote {
+  crypto::PublicKey platform_key;
+  Endorsement endorsement;       // authority → platform key
+  crypto::PublicKey vote_key;    // the key used to sign consensus votes
+  ConfigCommitment commitment;   // salted configuration measurement
+  crypto::Digest nonce;          // verifier challenge
+  crypto::Signature signature;   // platform key over all of the above
+};
+
+/// Opening of a commitment, revealed to an authorized auditor only.
+struct CommitmentOpening {
+  config::ConfigurationId config_digest;
+  crypto::Digest salt;
+};
+
+/// The TEE/TPM of one replica.
+class PlatformModule {
+ public:
+  /// `hardware` must be the configuration's trusted-hardware component.
+  PlatformModule(crypto::KeyRegistry& registry, support::Rng& rng,
+                 const AttestationAuthority& authority,
+                 config::ComponentId hardware,
+                 config::ReplicaConfiguration configuration);
+
+  [[nodiscard]] const crypto::PublicKey& platform_key() const noexcept {
+    return platform_keys_.public_key();
+  }
+  [[nodiscard]] const crypto::PublicKey& vote_key() const noexcept {
+    return vote_keys_.public_key();
+  }
+  [[nodiscard]] const config::ReplicaConfiguration& configuration()
+      const noexcept {
+    return configuration_;
+  }
+
+  /// Produces a fresh quote for the verifier's nonce.
+  [[nodiscard]] Quote quote(const crypto::Digest& nonce) const;
+
+  /// Reveals the commitment opening (auditor path).
+  [[nodiscard]] CommitmentOpening open_commitment() const;
+
+  /// Signs a consensus vote with the attested vote key (Remark 3: the
+  /// vote demonstrably originates from the attested configuration).
+  [[nodiscard]] crypto::Signature sign_vote(
+      const crypto::Digest& vote) const {
+    return vote_keys_.sign(vote);
+  }
+
+ private:
+  crypto::KeyPair platform_keys_;
+  crypto::KeyPair vote_keys_;
+  Endorsement endorsement_;
+  config::ReplicaConfiguration configuration_;
+  crypto::Digest salt_;
+};
+
+/// Message covered by the quote signature (exposed for verifier reuse).
+[[nodiscard]] crypto::Digest quote_message(const Quote& q);
+
+/// Full verifier check: endorsement chain, quote signature, nonce match.
+[[nodiscard]] bool verify_quote(const crypto::KeyRegistry& registry,
+                                const crypto::PublicKey& authority_root,
+                                const Quote& q,
+                                const crypto::Digest& expected_nonce);
+
+/// Auditor check: the opening matches the commitment.
+[[nodiscard]] bool verify_opening(const ConfigCommitment& commitment,
+                                  const CommitmentOpening& opening);
+
+}  // namespace findep::attest

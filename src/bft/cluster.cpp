@@ -1,0 +1,161 @@
+#include "bft/cluster.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::bft {
+
+BftCluster::BftCluster(std::size_t n, ClusterOptions options,
+                       std::vector<Behavior> behaviors)
+    : options_(options) {
+  FINDEP_REQUIRE(n >= 4);
+  init(std::vector<double>(n, 1.0), std::move(behaviors));
+}
+
+BftCluster::BftCluster(std::vector<double> weights, ClusterOptions options,
+                       std::vector<Behavior> behaviors)
+    : options_(options) {
+  init(std::move(weights), std::move(behaviors));
+}
+
+void BftCluster::init(std::vector<double> weights,
+                      std::vector<Behavior> behaviors) {
+  const std::size_t n = weights.size();
+  FINDEP_REQUIRE(n >= 4);
+  behaviors.resize(n, Behavior::kHonest);
+  behaviors_ = behaviors;
+
+  net::NetworkOptions net_options = options_.network;
+  net_options.seed = support::mix64(options_.seed ^ 0x6e65740a);
+  network_ = std::make_unique<net::SimNetwork>(sim_, net_options);
+
+  // Keys: deterministic per replica id, plus one client key.
+  std::vector<crypto::PublicKey> directory;
+  std::vector<crypto::KeyPair> keys;
+  directory.reserve(n);
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(crypto::KeyPair::derive(options_.seed * 1000003 + i));
+    registry_.enroll(keys.back());
+    directory.push_back(keys.back().public_key());
+  }
+  client_keys_ = std::make_unique<crypto::KeyPair>(
+      crypto::KeyPair::derive(options_.seed * 1000003 + n));
+  registry_.enroll(*client_keys_);
+  client_id_ = static_cast<net::NodeId>(n);
+
+  ReplicaOptions ropts = options_.replica;
+  for (std::size_t i = 0; i < n; ++i) {
+    ropts.behavior = behaviors_[i];
+    replicas_.push_back(std::make_unique<Replica>(
+        static_cast<ReplicaId>(i), weights, directory, registry_, keys[i],
+        *network_, ropts));
+    replicas_.back()->start();
+  }
+  observed_.assign(n, 0);
+  real_executed_.assign(n, 0);
+}
+
+std::uint64_t BftCluster::submit() {
+  const std::uint64_t rid = next_request_id_++;
+  Request request;
+  request.id = rid;
+  request.operation = crypto::Sha256{}
+                          .update("findep/bft/op/v1")
+                          .update_u64(rid)
+                          .update_u64(options_.seed)
+                          .finish();
+  traces_.push_back(RequestTrace{rid, sim_.now(), -1.0});
+
+  Envelope env = make_envelope(client_id_, *client_keys_, request);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    network_->send(client_id_, static_cast<net::NodeId>(i), env, 512);
+  }
+  return rid;
+}
+
+void BftCluster::observe_executions() {
+  // Record the earliest honest execution time per request; scans only
+  // entries appended since the previous observation.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const auto& log = replicas_[i]->executed();
+    for (std::size_t j = observed_[i]; j < log.size(); ++j) {
+      const ExecutedEntry& e = log[j];
+      if (e.request.id == 0) continue;
+      ++real_executed_[i];
+      if (behaviors_[i] != Behavior::kHonest) continue;
+      const std::size_t idx = static_cast<std::size_t>(e.request.id) - 1;
+      if (idx < traces_.size() && !traces_[idx].done()) {
+        traces_[idx].executed_at = sim_.now();
+      }
+    }
+    observed_[i] = log.size();
+  }
+}
+
+bool BftCluster::run_until_executed(std::size_t count, double deadline) {
+  while (sim_.now() < deadline) {
+    if (min_honest_executed() >= count) return true;
+    if (!sim_.has_pending()) break;
+    sim_.step();
+    observe_executions();
+  }
+  observe_executions();
+  return min_honest_executed() >= count;
+}
+
+void BftCluster::run_for(double duration) {
+  const double deadline = sim_.now() + duration;
+  while (sim_.now() < deadline && sim_.has_pending()) {
+    sim_.step();
+    observe_executions();
+  }
+}
+
+bool BftCluster::logs_consistent() const {
+  const Replica* reference = nullptr;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (behaviors_[i] != Behavior::kHonest) continue;
+    if (reference == nullptr) {
+      reference = replicas_[i].get();
+      continue;
+    }
+    const auto& a = reference->executed();
+    const auto& b = replicas_[i]->executed();
+    const std::size_t common = std::min(a.size(), b.size());
+    for (std::size_t j = 0; j < common; ++j) {
+      if (a[j].seq != b[j].seq ||
+          !(a[j].request == b[j].request)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t BftCluster::min_honest_executed() const {
+  std::size_t min_count = SIZE_MAX;
+  bool any = false;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (behaviors_[i] != Behavior::kHonest) continue;
+    any = true;
+    min_count = std::min(min_count, real_executed_[i]);
+  }
+  return any ? min_count : 0;
+}
+
+double BftCluster::mean_latency() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const RequestTrace& t : traces_) {
+    if (t.done()) {
+      sum += t.latency();
+      ++count;
+    }
+  }
+  FINDEP_REQUIRE_MSG(count > 0, "no completed requests");
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace findep::bft

@@ -1,0 +1,99 @@
+// BftCluster: a whole PBFT deployment in one object — replicas, client,
+// simulated network — plus the safety/liveness checkers the experiments
+// assert on. This is the harness both the test suite and the benchmark
+// binaries drive.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bft/replica.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace findep::bft {
+
+struct ClusterOptions {
+  net::NetworkOptions network;
+  ReplicaOptions replica;
+  std::uint64_t seed = 99;
+};
+
+/// Per-request latency record (submit time → first honest execution).
+struct RequestTrace {
+  std::uint64_t request_id = 0;
+  double submitted_at = 0.0;
+  double executed_at = -1.0;  // < 0 while unexecuted
+
+  [[nodiscard]] bool done() const noexcept { return executed_at >= 0.0; }
+  [[nodiscard]] double latency() const noexcept {
+    return executed_at - submitted_at;
+  }
+};
+
+class BftCluster {
+ public:
+  /// Unit-weight cluster of n replicas with the given behaviours
+  /// (`behaviors` may be shorter than n; missing entries are honest).
+  BftCluster(std::size_t n, ClusterOptions options,
+             std::vector<Behavior> behaviors = {});
+
+  /// Weighted cluster: `weights[i]` is replica i's voting power.
+  BftCluster(std::vector<double> weights, ClusterOptions options,
+             std::vector<Behavior> behaviors);
+
+  /// Submits a fresh client request (to every replica, as a PBFT client
+  /// would on retry; dedup is by request id). Returns the request id.
+  std::uint64_t submit();
+
+  /// Runs the simulation until all honest replicas have executed at least
+  /// `count` entries or `deadline` (simulated seconds) passes. Returns
+  /// true when the target was reached.
+  bool run_until_executed(std::size_t count, double deadline);
+
+  /// Runs the simulation for `duration` simulated seconds.
+  void run_for(double duration);
+
+  /// Safety: executed logs of honest replicas are pairwise
+  /// prefix-consistent (same request digest at every common seq).
+  [[nodiscard]] bool logs_consistent() const;
+
+  /// Minimum executed count over honest replicas.
+  [[nodiscard]] std::size_t min_honest_executed() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
+  [[nodiscard]] Replica& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] const Replica& replica(std::size_t i) const {
+    return *replicas_[i];
+  }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::SimNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] const std::vector<RequestTrace>& traces() const noexcept {
+    return traces_;
+  }
+
+  /// Mean commit latency over completed requests (seconds); requires at
+  /// least one completed request.
+  [[nodiscard]] double mean_latency() const;
+
+ private:
+  void init(std::vector<double> weights, std::vector<Behavior> behaviors);
+  void observe_executions();
+
+  sim::Simulator sim_;
+  ClusterOptions options_;
+  std::unique_ptr<net::SimNetwork> network_;
+  crypto::KeyRegistry registry_;
+  std::unique_ptr<crypto::KeyPair> client_keys_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<Behavior> behaviors_;
+  std::vector<RequestTrace> traces_;
+  /// Per-replica cursor into executed() already scanned (and the count of
+  /// real, non-noop entries seen so far), so observation is O(new).
+  std::vector<std::size_t> observed_;
+  std::vector<std::size_t> real_executed_;
+  std::uint64_t next_request_id_ = 1;
+  net::NodeId client_id_ = 0;
+};
+
+}  // namespace findep::bft

@@ -1,0 +1,100 @@
+#include "bft/messages.h"
+
+namespace findep::bft {
+
+crypto::Digest Request::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/request/v1")
+      .update_u64(id)
+      .update(operation.bytes)
+      .finish();
+}
+
+crypto::Digest PrePrepare::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/preprepare/v1")
+      .update_u64(view)
+      .update_u64(seq)
+      .update(request.digest().bytes)
+      .finish();
+}
+
+crypto::Digest Prepare::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/prepare/v1")
+      .update_u64(view)
+      .update_u64(seq)
+      .update(request_digest.bytes)
+      .finish();
+}
+
+crypto::Digest Commit::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/commit/v1")
+      .update_u64(view)
+      .update_u64(seq)
+      .update(request_digest.bytes)
+      .finish();
+}
+
+crypto::Digest Checkpoint::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/checkpoint/v1")
+      .update_u64(seq)
+      .update(state_digest.bytes)
+      .finish();
+}
+
+crypto::Digest ViewChange::digest() const {
+  crypto::Sha256 h;
+  h.update("findep/bft/viewchange/v1");
+  h.update_u64(new_view);
+  h.update_u64(last_executed);
+  h.update_u64(prepared.size());
+  for (const PreparedEntry& e : prepared) {
+    h.update_u64(e.view);
+    h.update_u64(e.seq);
+    h.update(e.request.digest().bytes);
+  }
+  return h.finish();
+}
+
+crypto::Digest NewView::digest() const {
+  crypto::Sha256 h;
+  h.update("findep/bft/newview/v1");
+  h.update_u64(view);
+  h.update_u64(proofs.size());
+  for (const SignedViewChange& svc : proofs) {
+    h.update_u64(svc.sender);
+    h.update(svc.vc.digest().bytes);
+    h.update(svc.signature.tag.bytes);
+  }
+  h.update_u64(reproposals.size());
+  for (const PrePrepare& pp : reproposals) {
+    h.update(pp.digest().bytes);
+  }
+  return h.finish();
+}
+
+crypto::Digest payload_digest(const Payload& payload) {
+  return std::visit([](const auto& msg) { return msg.digest(); }, payload);
+}
+
+Envelope make_envelope(ReplicaId sender, const crypto::KeyPair& keys,
+                       Payload payload) {
+  Envelope env;
+  env.sender = sender;
+  env.sender_key = keys.public_key();
+  env.signature = keys.sign(payload_digest(payload));
+  env.payload = std::move(payload);
+  return env;
+}
+
+bool verify_envelope(const crypto::KeyRegistry& registry,
+                     const Envelope& envelope) {
+  return registry.verify(envelope.sender_key,
+                         payload_digest(envelope.payload),
+                         envelope.signature);
+}
+
+}  // namespace findep::bft

@@ -1,0 +1,125 @@
+// PBFT message set (Castro–Liskov '99/'02, the protocol the paper's BFT
+// baseline numbers assume), with voting-*power* quorums so the same core
+// serves classic count-based BFT (unit weights) and stake/hash-weighted
+// committees (§II-A's voting-power abstraction).
+//
+// Every message is signed; receivers verify via the KeyRegistry before
+// processing, so a Byzantine replica cannot forge others' votes — it can
+// only equivocate with its own weight, which the quorum intersection
+// argument charges to f.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+
+namespace findep::bft {
+
+using ReplicaId = std::uint32_t;
+using View = std::uint64_t;
+using SeqNum = std::uint64_t;
+
+/// A client operation (opaque payload digest + unique id).
+struct Request {
+  std::uint64_t id = 0;
+  crypto::Digest operation;
+
+  [[nodiscard]] crypto::Digest digest() const;
+  bool operator==(const Request&) const = default;
+};
+
+struct PrePrepare {
+  View view = 0;
+  SeqNum seq = 0;
+  Request request;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+struct Prepare {
+  View view = 0;
+  SeqNum seq = 0;
+  crypto::Digest request_digest;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+struct Commit {
+  View view = 0;
+  SeqNum seq = 0;
+  crypto::Digest request_digest;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+struct Checkpoint {
+  SeqNum seq = 0;  // executions up to and including seq are stable
+  crypto::Digest state_digest;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// A prepared certificate entry carried inside a view change: the replica
+/// prepared `request` at (view, seq).
+struct PreparedEntry {
+  View view = 0;
+  SeqNum seq = 0;
+  Request request;
+};
+
+struct ViewChange {
+  View new_view = 0;
+  SeqNum last_executed = 0;
+  std::vector<PreparedEntry> prepared;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// A view-change message together with its sender's signature, embeddable
+/// as a proof inside NEW-VIEW (receivers re-verify each one, so a
+/// Byzantine new primary cannot invent the view-change quorum or alter
+/// what was prepared).
+struct SignedViewChange {
+  ReplicaId sender = 0;
+  ViewChange vc;
+  crypto::Signature signature;
+};
+
+struct NewView {
+  View view = 0;
+  /// The view-change quorum justifying this view.
+  std::vector<SignedViewChange> proofs;
+  /// Re-proposals the new primary derived from the proofs; receivers
+  /// recompute them from `proofs` and reject mismatches.
+  std::vector<PrePrepare> reproposals;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+using Payload = std::variant<Request, PrePrepare, Prepare, Commit,
+                             Checkpoint, ViewChange, NewView>;
+
+/// Envelope: sender identity + signature over the payload digest.
+struct Envelope {
+  ReplicaId sender = 0;
+  crypto::PublicKey sender_key;
+  Payload payload;
+  crypto::Signature signature;
+};
+
+/// Digest of any payload alternative (dispatches on the variant).
+[[nodiscard]] crypto::Digest payload_digest(const Payload& payload);
+
+/// Signs a payload as `sender`.
+[[nodiscard]] Envelope make_envelope(ReplicaId sender,
+                                     const crypto::KeyPair& keys,
+                                     Payload payload);
+
+/// Verifies the envelope signature.
+[[nodiscard]] bool verify_envelope(const crypto::KeyRegistry& registry,
+                                   const Envelope& envelope);
+
+}  // namespace findep::bft

@@ -1,0 +1,541 @@
+#include "bft/replica.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::bft {
+
+namespace {
+/// Wire-size model (bytes) per message type; only used for traffic stats.
+constexpr std::uint64_t kSmallMessage = 192;
+constexpr std::uint64_t kRequestMessage = 512;
+constexpr std::uint64_t kViewChangeMessage = 1024;
+constexpr std::uint64_t kNewViewMessage = 4096;
+}  // namespace
+
+Request Replica::noop_request() {
+  return Request{0, crypto::Digest{}};
+}
+
+Replica::Replica(ReplicaId id, std::vector<double> weights,
+                 std::vector<crypto::PublicKey> directory,
+                 crypto::KeyRegistry& registry, crypto::KeyPair keys,
+                 net::SimNetwork& network, ReplicaOptions options)
+    : id_(id),
+      weights_(std::move(weights)),
+      directory_(std::move(directory)),
+      registry_(&registry),
+      keys_(std::move(keys)),
+      network_(&network),
+      options_(options) {
+  FINDEP_REQUIRE(id_ < weights_.size());
+  FINDEP_REQUIRE(weights_.size() == directory_.size());
+  FINDEP_REQUIRE(weights_.size() >= 4);  // tolerate at least one fault
+  FINDEP_REQUIRE(options_.request_timeout > 0.0);
+  FINDEP_REQUIRE(options_.view_change_timeout > 0.0);
+  FINDEP_REQUIRE(options_.checkpoint_interval > 0);
+  for (const double w : weights_) {
+    FINDEP_REQUIRE(w > 0.0);
+    total_weight_ += w;
+  }
+  FINDEP_REQUIRE_MSG(directory_[id_] == keys_.public_key(),
+                     "key pair must match the directory entry");
+}
+
+double Replica::weight_of(ReplicaId r) const {
+  FINDEP_REQUIRE(r < weights_.size());
+  return weights_[r];
+}
+
+double Replica::vote_weight(
+    const std::map<ReplicaId, double>& votes) const {
+  double sum = 0.0;
+  for (const auto& [replica, weight] : votes) sum += weight;
+  return sum;
+}
+
+void Replica::start() {
+  FINDEP_REQUIRE_MSG(!started_, "start() called twice");
+  started_ = true;
+  network_->attach(id_,
+                   [this](const net::Message& msg) { on_message(msg); });
+}
+
+void Replica::broadcast(Payload payload, std::uint64_t bytes) {
+  if (options_.behavior == Behavior::kSilent) return;
+  Envelope env = make_envelope(id_, keys_, std::move(payload));
+  // PBFT replicas also "send to themselves": process locally right away.
+  for (ReplicaId r = 0; r < weights_.size(); ++r) {
+    if (r == id_) continue;
+    network_->send(id_, r, env, bytes);
+  }
+  network_->send(id_, id_, std::move(env), bytes);
+}
+
+void Replica::send_to(net::NodeId to, Payload payload, std::uint64_t bytes) {
+  if (options_.behavior == Behavior::kSilent) return;
+  network_->send(id_, to, make_envelope(id_, keys_, std::move(payload)),
+                 bytes);
+}
+
+void Replica::on_message(const net::Message& raw) {
+  if (options_.behavior == Behavior::kSilent) return;
+  const auto* env = std::any_cast<Envelope>(&raw.payload);
+  if (env == nullptr) return;  // foreign traffic
+  // Authentication: the claimed sender key must be the directory entry
+  // (clients are outside the directory and allowed for Request only).
+  const bool from_replica = env->sender < weights_.size();
+  if (from_replica && directory_[env->sender] != env->sender_key) return;
+  if (!verify_envelope(*registry_, *env)) return;
+
+  if (const auto* req = std::get_if<Request>(&env->payload)) {
+    on_request(*req, raw.from);
+  } else if (!from_replica) {
+    return;  // only replicas may send protocol messages
+  } else if (const auto* pp = std::get_if<PrePrepare>(&env->payload)) {
+    if (pp->view > view_) {
+      future_messages_.push_back(*env);
+      return;
+    }
+    on_preprepare(*pp, env->sender);
+  } else if (const auto* p = std::get_if<Prepare>(&env->payload)) {
+    if (p->view > view_) {
+      future_messages_.push_back(*env);
+      return;
+    }
+    on_prepare(*p, env->sender);
+  } else if (const auto* c = std::get_if<Commit>(&env->payload)) {
+    if (c->view > view_) {
+      future_messages_.push_back(*env);
+      return;
+    }
+    on_commit(*c, env->sender);
+  } else if (const auto* cp = std::get_if<Checkpoint>(&env->payload)) {
+    on_checkpoint(*cp, env->sender);
+  } else if (const auto* vc = std::get_if<ViewChange>(&env->payload)) {
+    on_viewchange(*vc, env->sender, env->signature);
+  } else if (const auto* nv = std::get_if<NewView>(&env->payload)) {
+    on_newview(*nv, env->sender);
+  }
+}
+
+void Replica::replay_future_messages() {
+  std::vector<Envelope> pending;
+  pending.swap(future_messages_);
+  for (Envelope& env : pending) {
+    if (const auto* pp = std::get_if<PrePrepare>(&env.payload)) {
+      if (pp->view > view_) {
+        future_messages_.push_back(std::move(env));
+        continue;
+      }
+      on_preprepare(*pp, env.sender);
+    } else if (const auto* p = std::get_if<Prepare>(&env.payload)) {
+      if (p->view > view_) {
+        future_messages_.push_back(std::move(env));
+        continue;
+      }
+      on_prepare(*p, env.sender);
+    } else if (const auto* c = std::get_if<Commit>(&env.payload)) {
+      if (c->view > view_) {
+        future_messages_.push_back(std::move(env));
+        continue;
+      }
+      on_commit(*c, env.sender);
+    }
+  }
+}
+
+// --- normal case ----------------------------------------------------------
+
+void Replica::submit(const Request& request) {
+  if (options_.behavior == Behavior::kSilent) return;
+  on_request(request, id_);
+}
+
+void Replica::on_request(const Request& request, net::NodeId from) {
+  if (request.id != 0 && executed_ids_.contains(request.id)) return;
+  pending_requests_[request.id] = request;
+  arm_request_timer();
+  if (in_view_change_) return;
+  if (is_primary()) {
+    propose(request);
+  } else if (from >= weights_.size() || from == id_) {
+    // Came from a client (or local submit): relay to the primary.
+    send_to(primary_of(view_), request, kRequestMessage);
+  }
+}
+
+void Replica::propose(const Request& request) {
+  FINDEP_REQUIRE(is_primary());
+  if (request.id != 0 &&
+      (assigned_.contains(request.id) || executed_ids_.contains(request.id))) {
+    return;
+  }
+  const SeqNum seq = next_seq_++;
+  if (request.id != 0) assigned_[request.id] = seq;
+
+  if (options_.behavior == Behavior::kEquivocate) {
+    // Conflicting proposals: the real request to the first half, a
+    // fabricated one to the second half. Neither half can reach a
+    // prepared certificate for a conflicting pair.
+    Request forged = request;
+    forged.id ^= 0x8000000000000000ULL;
+    forged.operation = crypto::Sha256{}
+                           .update("findep/forged/v1")
+                           .update(request.operation.bytes)
+                           .finish();
+    const PrePrepare real{view_, seq, request};
+    const PrePrepare fake{view_, seq, forged};
+    for (ReplicaId r = 0; r < weights_.size(); ++r) {
+      if (r == id_) continue;
+      send_to(r, r % 2 == 0 ? Payload{real} : Payload{fake}, kRequestMessage);
+    }
+    return;  // the equivocator does not even convince itself
+  }
+
+  broadcast(PrePrepare{view_, seq, request}, kRequestMessage);
+}
+
+void Replica::on_preprepare(const PrePrepare& pp, ReplicaId from) {
+  if (in_view_change_ || pp.view != view_) return;
+  if (from != primary_of(pp.view)) return;
+  if (pp.seq <= last_executed_ || pp.seq <= stable_checkpoint_) return;
+  accept_preprepare(pp);
+}
+
+void Replica::accept_preprepare(const PrePrepare& pp) {
+  Slot& slot = slots_[pp.seq];
+  const crypto::Digest digest = pp.request.digest();
+  if (slot.have_preprepare && slot.request_digest != digest) {
+    return;  // conflicting pre-prepare from an equivocating primary
+  }
+  slot.have_preprepare = true;
+  slot.request = pp.request;
+  slot.request_digest = digest;
+  // The primary's pre-prepare doubles as its prepare vote.
+  slot.prepare_votes[digest][primary_of(pp.view)] =
+      weight_of(primary_of(pp.view));
+
+  if (!slot.sent_prepare && id_ != primary_of(pp.view)) {
+    slot.sent_prepare = true;
+    slot.prepare_votes[digest][id_] = weight_of(id_);
+    broadcast(Prepare{pp.view, pp.seq, digest}, kSmallMessage);
+  }
+  // Track the request for liveness even if it reached us only via the
+  // primary.
+  if (pp.request.id != 0 && !executed_ids_.contains(pp.request.id)) {
+    pending_requests_[pp.request.id] = pp.request;
+    arm_request_timer();
+  }
+  maybe_prepared(pp.seq);
+}
+
+void Replica::on_prepare(const Prepare& p, ReplicaId from) {
+  if (in_view_change_ || p.view != view_) return;
+  if (p.seq <= last_executed_ || p.seq <= stable_checkpoint_) return;
+  Slot& slot = slots_[p.seq];
+  slot.prepare_votes[p.request_digest][from] = weight_of(from);
+  maybe_prepared(p.seq);
+}
+
+void Replica::maybe_prepared(SeqNum seq) {
+  const auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (!slot.have_preprepare || slot.prepared) return;
+  const auto votes = slot.prepare_votes.find(slot.request_digest);
+  if (votes == slot.prepare_votes.end()) return;
+  if (!is_quorum(vote_weight(votes->second))) return;
+
+  slot.prepared = true;
+  slot.prepared_view = view_;
+  if (!slot.sent_commit) {
+    slot.sent_commit = true;
+    slot.commit_votes[slot.request_digest][id_] = weight_of(id_);
+    broadcast(Commit{view_, seq, slot.request_digest}, kSmallMessage);
+  }
+  maybe_committed(seq);
+}
+
+void Replica::on_commit(const Commit& c, ReplicaId from) {
+  if (in_view_change_ || c.view != view_) return;
+  if (c.seq <= last_executed_ || c.seq <= stable_checkpoint_) return;
+  Slot& slot = slots_[c.seq];
+  slot.commit_votes[c.request_digest][from] = weight_of(from);
+  maybe_committed(c.seq);
+}
+
+void Replica::maybe_committed(SeqNum seq) {
+  const auto it = slots_.find(seq);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  if (!slot.prepared || slot.committed) return;
+  const auto votes = slot.commit_votes.find(slot.request_digest);
+  if (votes == slot.commit_votes.end()) return;
+  if (!is_quorum(vote_weight(votes->second))) return;
+  slot.committed = true;
+  execute_ready();
+}
+
+void Replica::execute_ready() {
+  for (;;) {
+    const auto it = slots_.find(last_executed_ + 1);
+    if (it == slots_.end() || !it->second.committed) break;
+    Slot& slot = it->second;
+    ++last_executed_;
+    executed_.push_back(ExecutedEntry{last_executed_, slot.request});
+    if (slot.request.id != 0) {
+      executed_ids_[slot.request.id] = true;
+      pending_requests_.erase(slot.request.id);
+    }
+  }
+  if (pending_requests_.empty()) {
+    disarm_request_timer();
+  }
+  maybe_checkpoint();
+}
+
+void Replica::maybe_checkpoint() {
+  if (last_executed_ < stable_checkpoint_ + options_.checkpoint_interval) {
+    return;
+  }
+  if (last_executed_ <= last_checkpoint_sent_) return;
+  const SeqNum seq = last_executed_;
+  last_checkpoint_sent_ = seq;
+  crypto::Sha256 h;
+  h.update("findep/bft/state/v1");
+  for (const ExecutedEntry& e : executed_) {
+    h.update_u64(e.seq);
+    h.update(e.request.digest().bytes);
+  }
+  broadcast(Checkpoint{seq, h.finish()}, kSmallMessage);
+}
+
+void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from) {
+  if (cp.seq <= stable_checkpoint_) return;
+  auto& votes = checkpoint_votes_[cp.seq][cp.state_digest];
+  votes[from] = weight_of(from);
+  if (!is_quorum(vote_weight(votes))) return;
+  stable_checkpoint_ = cp.seq;
+  // Prune consensus state at and below the stable checkpoint.
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->first <= stable_checkpoint_ ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
+    it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
+                                         : std::next(it);
+  }
+}
+
+// --- timers ----------------------------------------------------------------
+
+void Replica::arm_request_timer() {
+  if (options_.behavior == Behavior::kSilent) return;
+  if (request_timer_.has_value() || pending_requests_.empty()) return;
+  request_timer_ = network_->simulator().schedule_after(
+      options_.request_timeout, [this] {
+        request_timer_.reset();
+        if (!pending_requests_.empty() && !in_view_change_) {
+          start_view_change(view_ + 1);
+        }
+      });
+}
+
+void Replica::disarm_request_timer() {
+  if (request_timer_.has_value()) {
+    network_->simulator().cancel(*request_timer_);
+    request_timer_.reset();
+  }
+}
+
+void Replica::arm_viewchange_timer(View target) {
+  disarm_viewchange_timer();
+  viewchange_timer_ = network_->simulator().schedule_after(
+      options_.view_change_timeout, [this, target] {
+        viewchange_timer_.reset();
+        if (in_view_change_ && pending_view_ == target) {
+          start_view_change(target + 1);  // new primary also failed
+        }
+      });
+}
+
+void Replica::disarm_viewchange_timer() {
+  if (viewchange_timer_.has_value()) {
+    network_->simulator().cancel(*viewchange_timer_);
+    viewchange_timer_.reset();
+  }
+}
+
+// --- view change -------------------------------------------------------
+
+void Replica::start_view_change(View target) {
+  if (target <= view_) return;
+  if (in_view_change_ && target <= pending_view_) return;
+  in_view_change_ = true;
+  pending_view_ = target;
+  ++view_changes_started_;
+  disarm_request_timer();
+
+  ViewChange vc;
+  vc.new_view = target;
+  vc.last_executed = stable_checkpoint_;
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.prepared && seq > stable_checkpoint_) {
+      vc.prepared.push_back(
+          PreparedEntry{slot.prepared_view, seq, slot.request});
+    }
+  }
+  arm_viewchange_timer(target);
+  broadcast(vc, kViewChangeMessage);
+}
+
+void Replica::on_viewchange(const ViewChange& vc, ReplicaId from,
+                            const crypto::Signature& signature) {
+  if (vc.new_view <= view_) return;
+  auto& votes = viewchange_votes_[vc.new_view];
+  const bool already =
+      std::any_of(votes.begin(), votes.end(),
+                  [from](const SignedViewChange& s) {
+                    return s.sender == from;
+                  });
+  if (!already) {
+    votes.push_back(SignedViewChange{from, vc, signature});
+  }
+
+  double weight = 0.0;
+  for (const SignedViewChange& s : votes) weight += weight_of(s.sender);
+
+  // Join rule: a third of the power already wants this view, so at least
+  // one honest replica timed out — join to guarantee liveness.
+  if (is_third(weight) &&
+      (!in_view_change_ || pending_view_ < vc.new_view)) {
+    start_view_change(vc.new_view);
+  }
+  if (primary_of(vc.new_view) == id_) {
+    maybe_assemble_new_view(vc.new_view);
+  }
+}
+
+std::vector<PrePrepare> Replica::compute_reproposals(
+    View target, const std::vector<SignedViewChange>& proofs) {
+  SeqNum min_s = 0;
+  SeqNum max_s = 0;
+  for (const SignedViewChange& s : proofs) {
+    min_s = std::max(min_s, s.vc.last_executed);
+    for (const PreparedEntry& e : s.vc.prepared) {
+      max_s = std::max(max_s, e.seq);
+    }
+  }
+  std::vector<PrePrepare> out;
+  for (SeqNum seq = min_s + 1; seq <= max_s; ++seq) {
+    const PreparedEntry* best = nullptr;
+    for (const SignedViewChange& s : proofs) {
+      for (const PreparedEntry& e : s.vc.prepared) {
+        if (e.seq != seq) continue;
+        if (best == nullptr || e.view > best->view) best = &e;
+      }
+    }
+    out.push_back(PrePrepare{
+        target, seq, best != nullptr ? best->request : noop_request()});
+  }
+  return out;
+}
+
+void Replica::maybe_assemble_new_view(View target) {
+  if (view_ >= target || newview_assembled_for_ >= target) return;
+  const auto it = viewchange_votes_.find(target);
+  if (it == viewchange_votes_.end()) return;
+  // Must include our own view change.
+  const bool have_own =
+      std::any_of(it->second.begin(), it->second.end(),
+                  [this](const SignedViewChange& s) {
+                    return s.sender == id_;
+                  });
+  if (!have_own) return;
+  double weight = 0.0;
+  for (const SignedViewChange& s : it->second) weight += weight_of(s.sender);
+  if (!is_quorum(weight)) return;
+
+  newview_assembled_for_ = target;
+  NewView nv;
+  nv.view = target;
+  nv.proofs = it->second;
+  nv.reproposals = compute_reproposals(target, nv.proofs);
+  broadcast(nv, kNewViewMessage);
+}
+
+void Replica::on_newview(const NewView& nv, ReplicaId from) {
+  if (nv.view <= view_) return;
+  if (from != primary_of(nv.view)) return;
+
+  // Verify the view-change quorum: distinct senders, valid signatures,
+  // matching target view, quorum weight.
+  double weight = 0.0;
+  std::vector<bool> seen(weights_.size(), false);
+  for (const SignedViewChange& s : nv.proofs) {
+    if (s.sender >= weights_.size() || seen[s.sender]) return;
+    if (s.vc.new_view != nv.view) return;
+    if (!registry_->verify(directory_[s.sender], s.vc.digest(),
+                           s.signature)) {
+      return;
+    }
+    seen[s.sender] = true;
+    weight += weight_of(s.sender);
+  }
+  if (!is_quorum(weight)) return;
+
+  // Recompute the re-proposals; a lying primary is rejected here.
+  const std::vector<PrePrepare> expected =
+      compute_reproposals(nv.view, nv.proofs);
+  if (expected.size() != nv.reproposals.size()) return;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].view != nv.reproposals[i].view ||
+        expected[i].seq != nv.reproposals[i].seq ||
+        !(expected[i].request == nv.reproposals[i].request)) {
+      return;
+    }
+  }
+  install_new_view(nv);
+}
+
+void Replica::install_new_view(const NewView& nv) {
+  view_ = nv.view;
+  in_view_change_ = false;
+  pending_view_ = nv.view;
+  disarm_viewchange_timer();
+  viewchange_votes_.erase(viewchange_votes_.begin(),
+                          viewchange_votes_.upper_bound(nv.view));
+
+  // Reset consensus state for unexecuted sequence numbers: votes from
+  // earlier views are void in the new view.
+  for (auto& [seq, slot] : slots_) {
+    if (seq > last_executed_) slot = Slot{};
+  }
+
+  SeqNum max_seq = last_executed_;
+  for (const PrePrepare& pp : nv.reproposals) {
+    max_seq = std::max(max_seq, pp.seq);
+    if (pp.seq <= last_executed_ || pp.seq <= stable_checkpoint_) continue;
+    accept_preprepare(pp);
+  }
+  next_seq_ = max_seq + 1;
+  assigned_.clear();
+
+  // Replay normal-case traffic that raced ahead of our installation.
+  replay_future_messages();
+
+  // Re-drive pending client requests in the new view.
+  if (is_primary()) {
+    for (const auto& [rid, request] : pending_requests_) {
+      propose(request);
+    }
+  } else {
+    for (const auto& [rid, request] : pending_requests_) {
+      send_to(primary_of(view_), request, kRequestMessage);
+    }
+  }
+  arm_request_timer();
+}
+
+}  // namespace findep::bft

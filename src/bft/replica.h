@@ -1,0 +1,205 @@
+// A PBFT replica over the simulated network.
+//
+// Implements the normal three-phase case (pre-prepare / prepare / commit),
+// checkpointing, and view changes with NEW-VIEW proof verification, using
+// *weighted* quorums: each replica carries a voting power w_i and
+// certificates require strictly more than 2/3 of the total power (for
+// unit weights and n = 3f+1 this is exactly the classic 2f+1). Safety
+// holds while Byzantine power ≤ 1/3 of total — precisely the budget the
+// diversity core bounds via the configuration distribution.
+//
+// Byzantine behaviours built in for fault-injection experiments:
+//   kSilent     — never sends anything (fail-stop from the start).
+//   kEquivocate — as primary, proposes conflicting requests for the same
+//                 sequence number to different halves of the cluster.
+//
+// Known simplification (documented in DESIGN.md): there is no state
+// transfer; a replica that falls behind a *stable checkpoint* (possible
+// only for < 1/3 of weight) stays behind until the next checkpoint. The
+// experiments never rely on such replicas.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bft/messages.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace findep::bft {
+
+enum class Behavior : std::uint8_t {
+  kHonest,
+  kSilent,
+  kEquivocate,
+};
+
+struct ReplicaOptions {
+  /// Seconds a known-but-unexecuted request may age before the replica
+  /// starts a view change.
+  double request_timeout = 1.0;
+  /// Patience for a new view to be installed before escalating further.
+  double view_change_timeout = 1.5;
+  /// Execute-to-checkpoint distance.
+  SeqNum checkpoint_interval = 16;
+  Behavior behavior = Behavior::kHonest;
+};
+
+/// One executed log entry (what the state machine saw).
+struct ExecutedEntry {
+  SeqNum seq = 0;
+  Request request;
+};
+
+class Replica {
+ public:
+  /// `weights[i]` is replica i's voting power; `directory[i]` its public
+  /// key (both indexed by ReplicaId, same size). `keys` must match
+  /// `directory[id]` and be enrolled in `registry`.
+  Replica(ReplicaId id, std::vector<double> weights,
+          std::vector<crypto::PublicKey> directory,
+          crypto::KeyRegistry& registry, crypto::KeyPair keys,
+          net::SimNetwork& network, ReplicaOptions options);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Attaches the network handler. Call once before the simulation runs.
+  void start();
+
+  /// Client entry point: hands a request to this replica (it forwards to
+  /// the primary if needed and arms the liveness timer).
+  void submit(const Request& request);
+
+  [[nodiscard]] ReplicaId id() const noexcept { return id_; }
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] Behavior behavior() const noexcept {
+    return options_.behavior;
+  }
+  [[nodiscard]] const std::vector<ExecutedEntry>& executed() const noexcept {
+    return executed_;
+  }
+  [[nodiscard]] SeqNum last_executed() const noexcept {
+    return last_executed_;
+  }
+  [[nodiscard]] SeqNum stable_checkpoint() const noexcept {
+    return stable_checkpoint_;
+  }
+  [[nodiscard]] std::uint64_t view_changes_started() const noexcept {
+    return view_changes_started_;
+  }
+
+  [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
+    return static_cast<ReplicaId>(v % weights_.size());
+  }
+  [[nodiscard]] bool is_primary() const noexcept {
+    return primary_of(view_) == id_;
+  }
+
+  /// The request used to fill sequence gaps during view changes.
+  [[nodiscard]] static Request noop_request();
+
+ private:
+  struct Slot {
+    bool have_preprepare = false;
+    Request request;
+    crypto::Digest request_digest;
+    /// Votes keyed by digest then sender (handles out-of-order arrival
+    /// and equivocation).
+    std::map<crypto::Digest, std::map<ReplicaId, double>> prepare_votes;
+    std::map<crypto::Digest, std::map<ReplicaId, double>> commit_votes;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+    View prepared_view = 0;
+    bool committed = false;
+  };
+
+  // --- dispatch ---------------------------------------------------------
+  void on_message(const net::Message& raw);
+  void on_request(const Request& request, net::NodeId from);
+  void on_preprepare(const PrePrepare& pp, ReplicaId from);
+  void on_prepare(const Prepare& p, ReplicaId from);
+  void on_commit(const Commit& c, ReplicaId from);
+  void on_checkpoint(const Checkpoint& cp, ReplicaId from);
+  void on_viewchange(const ViewChange& vc, ReplicaId from,
+                     const crypto::Signature& signature);
+  void on_newview(const NewView& nv, ReplicaId from);
+
+  // --- normal case --------------------------------------------------------
+  void propose(const Request& request);
+  void accept_preprepare(const PrePrepare& pp);
+  void maybe_prepared(SeqNum seq);
+  void maybe_committed(SeqNum seq);
+  void execute_ready();
+  void maybe_checkpoint();
+
+  // --- view change ----------------------------------------------------
+  void replay_future_messages();
+  void start_view_change(View target);
+  void maybe_assemble_new_view(View target);
+  [[nodiscard]] static std::vector<PrePrepare> compute_reproposals(
+      View target, const std::vector<SignedViewChange>& proofs);
+  void install_new_view(const NewView& nv);
+
+  // --- helpers ------------------------------------------------------------
+  void broadcast(Payload payload, std::uint64_t bytes);
+  void send_to(net::NodeId to, Payload payload, std::uint64_t bytes);
+  [[nodiscard]] double weight_of(ReplicaId r) const;
+  [[nodiscard]] double vote_weight(
+      const std::map<ReplicaId, double>& votes) const;
+  [[nodiscard]] bool is_quorum(double weight) const noexcept {
+    return weight > 2.0 * total_weight_ / 3.0;
+  }
+  [[nodiscard]] bool is_third(double weight) const noexcept {
+    return weight > total_weight_ / 3.0;
+  }
+  void arm_request_timer();
+  void disarm_request_timer();
+  void arm_viewchange_timer(View target);
+  void disarm_viewchange_timer();
+
+  ReplicaId id_;
+  std::vector<double> weights_;
+  std::vector<crypto::PublicKey> directory_;
+  double total_weight_ = 0.0;
+  crypto::KeyRegistry* registry_;
+  crypto::KeyPair keys_;
+  net::SimNetwork* network_;
+  ReplicaOptions options_;
+
+  View view_ = 0;
+  bool in_view_change_ = false;
+  View pending_view_ = 0;
+  SeqNum next_seq_ = 1;  // primary's allocator
+  std::map<SeqNum, Slot> slots_;
+  SeqNum last_executed_ = 0;
+  std::vector<ExecutedEntry> executed_;
+  std::unordered_map<std::uint64_t, Request> pending_requests_;
+  std::unordered_map<std::uint64_t, SeqNum> assigned_;  // primary only
+  std::unordered_map<std::uint64_t, bool> executed_ids_;
+
+  SeqNum stable_checkpoint_ = 0;
+  SeqNum last_checkpoint_sent_ = 0;
+  /// seq -> state digest -> voters (digest-keyed so a Byzantine replica
+  /// cannot contribute to a checkpoint it does not actually hold).
+  std::map<SeqNum, std::map<crypto::Digest, std::map<ReplicaId, double>>>
+      checkpoint_votes_;
+
+  std::map<View, std::vector<SignedViewChange>> viewchange_votes_;
+  View newview_assembled_for_ = 0;
+  std::uint64_t view_changes_started_ = 0;
+
+  /// Normal-case messages that arrived for a view we have not installed
+  /// yet (we lag behind a view change); replayed after installation.
+  /// Replaces the retransmission machinery of a real deployment.
+  std::vector<Envelope> future_messages_;
+
+  std::optional<sim::EventId> request_timer_;
+  std::optional<sim::EventId> viewchange_timer_;
+  bool started_ = false;
+};
+
+}  // namespace findep::bft

@@ -1,0 +1,177 @@
+#include "committee/diversity_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.h"
+
+namespace findep::committee {
+
+namespace {
+
+/// Iteratively rescales member weights until no single component carries
+/// more than `cap` of the total (within 0.1% slack), by repeatedly
+/// lowering the currently-worst component toward the cap. Caps below the
+/// population's structural floor are unsatisfiable; the loop then returns
+/// the best exposure reachable while retaining ≥ 20% of the offered
+/// power, and the caller reports the achieved value.
+void enforce_component_cap(std::vector<double>& weights,
+                           const std::vector<std::vector<config::ComponentId>>&
+                               member_components,
+                           double cap) {
+  double initial_total = 0.0;
+  for (const double w : weights) initial_total += w;
+  if (initial_total <= 0.0) return;
+
+  // The iteration is not monotone in the exposure ratio (rescaling one
+  // over-cap component shifts every share), and caps below the
+  // population's structural floor never satisfy. We therefore keep the
+  // best state seen — lowest worst-exposure ratio, subject to retaining
+  // at least 20% of the offered power — and restore it on exit.
+  std::vector<double> best_weights = weights;
+  double best_worst = 2.0;  // > any possible ratio
+
+  for (int iter = 0; iter < 512; ++iter) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    if (total < 0.2 * initial_total) break;  // feasibility frontier
+
+    std::unordered_map<config::ComponentId, double> exposure;
+    for (std::size_t m = 0; m < weights.size(); ++m) {
+      for (const config::ComponentId c : member_components[m]) {
+        exposure[c] += weights[m];
+      }
+    }
+    config::ComponentId worst_component{};
+    double worst = 0.0;
+    for (const auto& [component, e] : exposure) {
+      const double ratio = e / total;
+      if (ratio > worst) {
+        worst = ratio;
+        worst_component = component;
+      }
+    }
+    if (worst < best_worst) {
+      best_worst = worst;
+      best_weights = weights;
+    }
+    // Satisfied within 0.1% slack (the descent converges asymptotically;
+    // exact equality would trade unbounded weight shrinkage for digits).
+    if (worst <= cap * (1.0 + 1e-3)) break;
+
+    // Directed descent: lower only the *worst* component toward the cap
+    // (per-round factor floored at 0.5 to avoid overshooting the weight
+    // frontier), so progress is concentrated on the offending members
+    // instead of shrinking the whole committee proportionally.
+    const double factor = std::max(cap / worst, 0.5);
+    bool changed = false;
+    for (std::size_t m = 0; m < weights.size(); ++m) {
+      const auto& comps = member_components[m];
+      if (std::find(comps.begin(), comps.end(), worst_component) !=
+          comps.end()) {
+        weights[m] *= factor;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  weights = best_weights;
+}
+
+}  // namespace
+
+Committee form_committee(const StakeRegistry& registry,
+                         const std::vector<ParticipantId>& candidates,
+                         const SelectionPolicy& policy) {
+  FINDEP_REQUIRE(policy.per_config_cap > 0.0 && policy.per_config_cap <= 1.0);
+  FINDEP_REQUIRE(policy.per_component_cap > 0.0 &&
+                 policy.per_component_cap <= 1.0);
+  FINDEP_REQUIRE(policy.attested_weight >= 1.0);
+
+  struct Offer {
+    ParticipantId id;
+    double weight;
+    config::ConfigurationId config;
+    std::vector<config::ComponentId> components;
+  };
+  std::vector<Offer> offers;
+  double offered = 0.0;
+  for (const ParticipantId id : candidates) {
+    const Participant& p = registry.get(id);
+    if (policy.attested_only && !p.attested) continue;
+    const double stake = registry.effective_stake(id);
+    if (stake <= 0.0) continue;
+    const double weight =
+        stake * (p.attested ? policy.attested_weight : 1.0);
+    offers.push_back(Offer{id, weight, p.configuration.digest(),
+                           p.configuration.components()});
+    offered += weight;
+  }
+
+  Committee out;
+  if (offers.empty()) return out;
+
+  // Stage 1 — configuration cap. Per-configuration offered power, then
+  // the fixpoint counted_j = min(power_j, cap · Σ counted).
+  std::unordered_map<config::ConfigurationId, double> config_power;
+  for (const Offer& o : offers) config_power[o.config] += o.weight;
+  std::unordered_map<config::ConfigurationId, double> counted = config_power;
+  for (int iter = 0; iter < 64; ++iter) {
+    double total = 0.0;
+    for (const auto& [cfg, w] : counted) total += w;
+    bool changed = false;
+    for (auto& [cfg, w] : counted) {
+      const double limit = policy.per_config_cap * total;
+      const double next = std::min(config_power[cfg], limit);
+      if (std::abs(next - w) > 1e-12) {
+        w = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<double> weights;
+  std::vector<std::vector<config::ComponentId>> member_components;
+  weights.reserve(offers.size());
+  member_components.reserve(offers.size());
+  for (const Offer& o : offers) {
+    const double cfg_offered = config_power[o.config];
+    const double cfg_counted = counted[o.config];
+    const double scale = cfg_offered > 0.0 ? cfg_counted / cfg_offered : 0.0;
+    weights.push_back(o.weight * scale);
+    member_components.push_back(o.components);
+  }
+
+  // Stage 2 — component cap (strictly stronger; see SelectionPolicy).
+  if (policy.per_component_cap < 1.0) {
+    enforce_component_cap(weights, member_components,
+                          policy.per_component_cap);
+  }
+
+  std::unordered_map<config::ComponentId, double> final_exposure;
+  for (std::size_t m = 0; m < offers.size(); ++m) {
+    const double weight = weights[m];
+    if (weight <= 0.0) continue;
+    out.members.push_back(CommitteeMember{offers[m].id, weight});
+    out.distribution.add(offers[m].config, weight, 1);
+    out.total_weight += weight;
+    for (const config::ComponentId c : member_components[m]) {
+      final_exposure[c] += weight;
+    }
+  }
+  out.admitted_fraction = offered > 0.0 ? out.total_weight / offered : 0.0;
+  if (out.total_weight > 0.0) {
+    out.entropy_bits = diversity::shannon_entropy(out.distribution);
+    out.bft = diversity::summarize_resilience(out.distribution,
+                                              diversity::kBftThreshold);
+    for (const auto& [component, exposure] : final_exposure) {
+      out.worst_component_exposure = std::max(
+          out.worst_component_exposure, exposure / out.total_weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace findep::committee

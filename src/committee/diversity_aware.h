@@ -1,0 +1,68 @@
+// Diversity-aware committee formation — the enforcement mechanism the
+// paper calls for (§II-C "identifying efficient ways to enforce the
+// [safety] equation in a permissionless environment").
+//
+// Given sortition winners (stake-proportional, so possibly monocultural),
+// the selector builds the final committee under a per-configuration power
+// cap, optionally restricted to attested participants, and reports the
+// achieved entropy/resilience next to the unconstrained baseline. This
+// realizes the (κ, ω) trade: more distinct configurations admitted (κ↑),
+// bounded power per configuration (cap ≈ 1/κ), operators per
+// configuration as abundance (ω).
+#pragma once
+
+#include <vector>
+
+#include "committee/stake.h"
+#include "diversity/manager.h"
+#include "diversity/metrics.h"
+
+namespace findep::committee {
+
+struct SelectionPolicy {
+  /// Maximum fraction of committee power any single configuration may
+  /// hold (1.0 = unconstrained).
+  double per_config_cap = 1.0;
+  /// Maximum fraction of committee power exposed to any single *component*
+  /// (1.0 = unconstrained). Strictly stronger than the configuration cap:
+  /// a vulnerability lives in a component, and distinct configurations
+  /// sharing an OS still fall together (§II-B). Enforcing this bounds the
+  /// true single-fault blast radius.
+  double per_component_cap = 1.0;
+  /// Require remote attestation for membership (§V tier-1 committee).
+  bool attested_only = false;
+  /// Weight multiplier for attested members when mixing tiers (§V).
+  double attested_weight = 1.0;
+};
+
+struct CommitteeMember {
+  ParticipantId participant = 0;
+  double weight = 0.0;  // counted voting power in the committee
+};
+
+struct Committee {
+  std::vector<CommitteeMember> members;
+  diversity::ConfigDistribution distribution;
+  double entropy_bits = 0.0;
+  double total_weight = 0.0;
+  /// Power admitted / power offered (1 − what the caps discarded).
+  double admitted_fraction = 1.0;
+  diversity::ResilienceSummary bft;
+  /// Largest fraction of committee power sharing any single component
+  /// (the true single-fault blast radius after cap enforcement).
+  double worst_component_exposure = 0.0;
+};
+
+/// Forms a committee from `candidates` under `policy`.
+///
+/// Candidates are admitted greedily in decreasing stake order; a
+/// candidate's weight is clipped so its configuration stays within
+/// `per_config_cap` of the running committee power (computed against the
+/// final total iteratively — two passes give a stable fixpoint for the
+/// experiments' purposes).
+[[nodiscard]] Committee form_committee(const StakeRegistry& registry,
+                                       const std::vector<ParticipantId>&
+                                           candidates,
+                                       const SelectionPolicy& policy);
+
+}  // namespace findep::committee

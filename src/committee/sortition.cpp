@@ -1,0 +1,60 @@
+#include "committee/sortition.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::committee {
+
+Sortition::Sortition(const StakeRegistry& registry, double expected_size)
+    : registry_(&registry), expected_size_(expected_size) {
+  FINDEP_REQUIRE(expected_size > 0.0);
+}
+
+crypto::Digest Sortition::round_seed(std::uint64_t round) {
+  return crypto::Sha256{}
+      .update("findep/sortition-seed/v1")
+      .update_u64(round)
+      .finish();
+}
+
+double Sortition::selection_probability(ParticipantId id) const {
+  const double total = registry_->total_stake();
+  FINDEP_REQUIRE(total > 0.0);
+  const double stake = registry_->effective_stake(id);
+  return std::min(1.0, expected_size_ * stake / total);
+}
+
+SortitionResult Sortition::select(
+    std::uint64_t round, const std::vector<crypto::KeyPair>& keys) const {
+  FINDEP_REQUIRE(keys.size() == registry_->size());
+  SortitionResult out;
+  out.seed = round_seed(round);
+  for (ParticipantId id = 0; id < registry_->size(); ++id) {
+    const double p = selection_probability(id);
+    if (p <= 0.0) continue;  // delegated-away or zero stake
+    FINDEP_REQUIRE_MSG(
+        keys[id].public_key() == registry_->get(id).key,
+        "key pair order must match the registry");
+    const crypto::VrfOutput vrf = crypto::vrf_evaluate(keys[id], out.seed);
+    if (vrf.as_unit_double() < p) {
+      out.seats.push_back(SortitionTicket{id, vrf, p});
+    }
+  }
+  return out;
+}
+
+bool Sortition::verify(const crypto::KeyRegistry& crypto_registry,
+                       std::uint64_t round,
+                       const SortitionTicket& ticket) const {
+  if (ticket.participant >= registry_->size()) return false;
+  const Participant& p = registry_->get(ticket.participant);
+  if (!crypto::vrf_verify(crypto_registry, p.key, round_seed(round),
+                          ticket.vrf)) {
+    return false;
+  }
+  return ticket.vrf.as_unit_double() <
+         selection_probability(ticket.participant);
+}
+
+}  // namespace findep::committee

@@ -1,0 +1,57 @@
+// VRF-based cryptographic sortition (Algorand-style), the membership
+// selection mechanism §II-A cites for committee-based permissionless
+// protocols.
+//
+// Each participant evaluates its VRF on the round seed; it wins a
+// committee seat when the output (uniform in [0,1)) falls below
+// expected_size · stake_i / total_stake. Seats are publicly verifiable
+// from the VRF proof. Stake-proportional selection means committee
+// *diversity* inherits the stake distribution — connecting sortition to
+// the paper's entropy analysis.
+#pragma once
+
+#include <vector>
+
+#include "committee/stake.h"
+#include "crypto/vrf.h"
+
+namespace findep::committee {
+
+struct SortitionTicket {
+  ParticipantId participant = 0;
+  crypto::VrfOutput vrf;
+  double threshold = 0.0;  // selection threshold the output beat
+};
+
+struct SortitionResult {
+  std::vector<SortitionTicket> seats;
+  crypto::Digest seed;
+};
+
+class Sortition {
+ public:
+  /// `expected_size`: expected number of seats per round.
+  Sortition(const StakeRegistry& registry, double expected_size);
+
+  /// Round seed (publicly derivable, e.g. from the previous block).
+  [[nodiscard]] static crypto::Digest round_seed(std::uint64_t round);
+
+  /// Runs selection for a round. `keys[i]` must be participant i's key
+  /// pair (the registry stores only public keys).
+  [[nodiscard]] SortitionResult select(
+      std::uint64_t round, const std::vector<crypto::KeyPair>& keys) const;
+
+  /// Verifies one ticket against the registry and round.
+  [[nodiscard]] bool verify(const crypto::KeyRegistry& crypto_registry,
+                            std::uint64_t round,
+                            const SortitionTicket& ticket) const;
+
+  /// Selection probability of a participant (min(1, C·s_i/S)).
+  [[nodiscard]] double selection_probability(ParticipantId id) const;
+
+ private:
+  const StakeRegistry* registry_;
+  double expected_size_;
+};
+
+}  // namespace findep::committee

@@ -1,0 +1,74 @@
+#include "committee/stake.h"
+
+#include "support/assert.h"
+
+namespace findep::committee {
+
+ParticipantId StakeRegistry::add(std::string name, double stake,
+                                 config::ReplicaConfiguration configuration,
+                                 bool attested, crypto::PublicKey key) {
+  FINDEP_REQUIRE(stake >= 0.0);
+  Participant p;
+  p.id = static_cast<ParticipantId>(participants_.size());
+  p.name = std::move(name);
+  p.stake = stake;
+  p.configuration = std::move(configuration);
+  p.attested = attested;
+  p.key = key;
+  participants_.push_back(std::move(p));
+  return participants_.back().id;
+}
+
+const Participant& StakeRegistry::get(ParticipantId id) const {
+  FINDEP_REQUIRE(id < participants_.size());
+  return participants_[id];
+}
+
+double StakeRegistry::total_stake() const noexcept {
+  double total = 0.0;
+  for (const auto& p : participants_) total += p.stake;
+  return total;
+}
+
+void StakeRegistry::delegate(ParticipantId who,
+                             std::optional<ParticipantId> custodian) {
+  FINDEP_REQUIRE(who < participants_.size());
+  if (custodian.has_value()) {
+    FINDEP_REQUIRE(*custodian < participants_.size());
+    FINDEP_REQUIRE_MSG(*custodian != who, "cannot delegate to oneself");
+    FINDEP_REQUIRE_MSG(
+        !participants_[*custodian].delegated_to.has_value(),
+        "custodians cannot themselves delegate (no chains)");
+    // The delegator must not be a custodian for someone else.
+    for (const auto& p : participants_) {
+      FINDEP_REQUIRE_MSG(p.delegated_to != std::optional(who),
+                         "a custodian cannot delegate away");
+    }
+  }
+  participants_[who].delegated_to = custodian;
+}
+
+double StakeRegistry::effective_stake(ParticipantId id) const {
+  FINDEP_REQUIRE(id < participants_.size());
+  if (participants_[id].delegated_to.has_value()) return 0.0;
+  double stake = participants_[id].stake;
+  for (const auto& p : participants_) {
+    if (p.delegated_to == std::optional(id)) stake += p.stake;
+  }
+  return stake;
+}
+
+std::vector<diversity::ReplicaRecord> StakeRegistry::effective_population()
+    const {
+  std::vector<diversity::ReplicaRecord> out;
+  for (const auto& p : participants_) {
+    if (p.delegated_to.has_value()) continue;
+    const double stake = effective_stake(p.id);
+    if (stake <= 0.0) continue;
+    out.push_back(diversity::ReplicaRecord{p.configuration, stake,
+                                           p.attested});
+  }
+  return out;
+}
+
+}  // namespace findep::committee

@@ -1,0 +1,66 @@
+// Stake registry with delegation.
+//
+// §II-A's third instantiation of voting power: membership-selected
+// consensus committees. The registry tracks per-participant stake,
+// configuration and attestation status, and models *delegation* — the
+// §III-A concern that custodial platforms (exchanges) aggregate many
+// users' stake behind a single operator and configuration, collapsing
+// diversity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/replica_config.h"
+#include "crypto/keys.h"
+#include "diversity/analyzer.h"
+
+namespace findep::committee {
+
+using ParticipantId = std::uint32_t;
+
+struct Participant {
+  ParticipantId id = 0;
+  std::string name;
+  double stake = 0.0;
+  config::ReplicaConfiguration configuration;
+  bool attested = false;
+  crypto::PublicKey key;
+  /// Set when the stake is delegated to a custodian; the custodian's
+  /// configuration and operator control the voting power.
+  std::optional<ParticipantId> delegated_to;
+};
+
+class StakeRegistry {
+ public:
+  /// Adds a participant; returns its id. Stake must be non-negative.
+  ParticipantId add(std::string name, double stake,
+                    config::ReplicaConfiguration configuration,
+                    bool attested, crypto::PublicKey key);
+
+  [[nodiscard]] const Participant& get(ParticipantId id) const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return participants_.size();
+  }
+  [[nodiscard]] double total_stake() const noexcept;
+
+  /// Delegates `who`'s stake to `custodian` (undelegates when nullopt).
+  /// Chained delegation is rejected (custodians cannot delegate).
+  void delegate(ParticipantId who, std::optional<ParticipantId> custodian);
+
+  /// Effective voting power per *controller*: a custodian controls its own
+  /// stake plus everything delegated to it; delegators control nothing.
+  /// Records carry the controller's configuration/attestation.
+  [[nodiscard]] std::vector<diversity::ReplicaRecord> effective_population()
+      const;
+
+  /// Effective stake controlled by `id` (0 if delegated away).
+  [[nodiscard]] double effective_stake(ParticipantId id) const;
+
+ private:
+  std::vector<Participant> participants_;
+};
+
+}  // namespace findep::committee

@@ -1,0 +1,122 @@
+#include "config/catalog.h"
+
+#include "support/assert.h"
+
+namespace findep::config {
+
+namespace {
+std::size_t kind_index(ComponentKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  FINDEP_REQUIRE(idx < kComponentKindCount);
+  return idx;
+}
+}  // namespace
+
+ComponentId ComponentCatalog::add(ComponentKind kind, std::string vendor,
+                                  std::string name, std::string version) {
+  const ComponentId id{static_cast<std::uint32_t>(components_.size())};
+  components_.push_back(Component{id, kind, std::move(vendor),
+                                  std::move(name), std::move(version)});
+  by_kind_[kind_index(kind)].push_back(id);
+  return id;
+}
+
+const Component& ComponentCatalog::get(ComponentId id) const {
+  FINDEP_REQUIRE(id.value < components_.size());
+  return components_[id.value];
+}
+
+std::span<const ComponentId> ComponentCatalog::of_kind(
+    ComponentKind kind) const noexcept {
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+double ComponentCatalog::configuration_space_size() const noexcept {
+  double product = 1.0;
+  for (const ComponentKind kind : all_component_kinds()) {
+    const std::size_t v = variety(kind);
+    if (kind == ComponentKind::kTrustedHardware) {
+      product *= static_cast<double>(v + 1);  // "no TEE" is a valid choice
+    } else if (v > 0) {
+      product *= static_cast<double>(v);
+    }
+  }
+  return product;
+}
+
+ComponentCatalog standard_catalog() {
+  ComponentCatalog c;
+  using K = ComponentKind;
+
+  // Trusted hardware (§III-B lists exactly these families).
+  c.add(K::kTrustedHardware, "Intel", "SGX", "SGX2");
+  c.add(K::kTrustedHardware, "ARM", "TrustZone", "v8.4");
+  c.add(K::kTrustedHardware, "AMD", "PSP", "SEV-SNP");
+  c.add(K::kTrustedHardware, "IBM", "Secure Service Container", "z15");
+
+  // System software.
+  c.add(K::kOperatingSystem, "Debian", "Linux", "12");
+  c.add(K::kOperatingSystem, "Canonical", "Ubuntu", "22.04");
+  c.add(K::kOperatingSystem, "RedHat", "RHEL", "9");
+  c.add(K::kOperatingSystem, "FreeBSD", "FreeBSD", "14.0");
+  c.add(K::kOperatingSystem, "OpenBSD", "OpenBSD", "7.4");
+  c.add(K::kOperatingSystem, "Microsoft", "Windows Server", "2022");
+  c.add(K::kOperatingSystem, "Apple", "macOS", "14");
+  c.add(K::kOperatingSystem, "Alpine", "Linux-musl", "3.19");
+
+  // Crypto libraries.
+  c.add(K::kCryptoLibrary, "OpenSSL", "libcrypto", "3.2");
+  c.add(K::kCryptoLibrary, "LibreSSL", "libcrypto", "3.8");
+  c.add(K::kCryptoLibrary, "BoringSSL", "libcrypto", "2024");
+  c.add(K::kCryptoLibrary, "wolfSSL", "wolfCrypt", "5.6");
+  c.add(K::kCryptoLibrary, "libsodium", "libsodium", "1.0.19");
+  c.add(K::kCryptoLibrary, "Botan", "Botan", "3.3");
+
+  // Consensus clients / full-node implementations.
+  c.add(K::kConsensusClient, "Bitcoin Core", "bitcoind", "26.0");
+  c.add(K::kConsensusClient, "btcsuite", "btcd", "0.24");
+  c.add(K::kConsensusClient, "libbitcoin", "bn", "3.8");
+  c.add(K::kConsensusClient, "bcoin", "bcoin", "2.2");
+  c.add(K::kConsensusClient, "Hyperledger", "Sawtooth-PoET", "1.2");
+  c.add(K::kConsensusClient, "BFT-SMaRt", "bftsmart", "1.2");
+  c.add(K::kConsensusClient, "Damysus", "damysus", "1.0");
+
+  // Wallets / key management (§III-A: built-in, third-party, custodial).
+  c.add(K::kWallet, "Bitcoin Core", "built-in wallet", "26.0");
+  c.add(K::kWallet, "Electrum", "desktop wallet", "4.5");
+  c.add(K::kWallet, "Ledger", "hardware wallet", "Nano S+");
+  c.add(K::kWallet, "Trezor", "hardware wallet", "Model T");
+  c.add(K::kWallet, "MetaMask", "web wallet", "11");
+  c.add(K::kWallet, "Exchange", "custodial", "n/a");
+
+  // Databases.
+  c.add(K::kDatabase, "Google", "LevelDB", "1.23");
+  c.add(K::kDatabase, "Meta", "RocksDB", "8.10");
+  c.add(K::kDatabase, "Oracle", "BerkeleyDB", "18.1");
+  c.add(K::kDatabase, "SQLite", "SQLite", "3.45");
+  c.add(K::kDatabase, "Symas", "LMDB", "0.9.31");
+
+  // Network stacks.
+  c.add(K::kNetworkStack, "Kernel", "BSD sockets", "native");
+  c.add(K::kNetworkStack, "libevent", "libevent", "2.1");
+  c.add(K::kNetworkStack, "Boost", "Asio", "1.84");
+  c.add(K::kNetworkStack, "ZeroMQ", "libzmq", "4.3");
+  c.add(K::kNetworkStack, "gRPC", "grpc-core", "1.62");
+
+  return c;
+}
+
+ComponentCatalog monoculture_catalog() {
+  ComponentCatalog c;
+  using K = ComponentKind;
+  c.add(K::kTrustedHardware, "Intel", "SGX", "SGX2");
+  c.add(K::kOperatingSystem, "Canonical", "Ubuntu", "22.04");
+  c.add(K::kCryptoLibrary, "OpenSSL", "libcrypto", "3.2");
+  c.add(K::kConsensusClient, "Bitcoin Core", "bitcoind", "26.0");
+  c.add(K::kWallet, "Bitcoin Core", "built-in wallet", "26.0");
+  c.add(K::kDatabase, "Google", "LevelDB", "1.23");
+  c.add(K::kNetworkStack, "Kernel", "BSD sockets", "native");
+  return c;
+}
+
+}  // namespace findep::config

@@ -1,0 +1,53 @@
+// Catalog of available components (the space from which replica
+// configurations are drawn). `standard_catalog()` ships a realistic COTS
+// inventory mirroring the paper's §III-A discussion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "config/component.h"
+
+namespace findep::config {
+
+/// Owning registry of components; ids are dense indices into the catalog.
+class ComponentCatalog {
+ public:
+  /// Registers a component; returns its assigned id.
+  ComponentId add(ComponentKind kind, std::string vendor, std::string name,
+                  std::string version);
+
+  [[nodiscard]] const Component& get(ComponentId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return components_.size(); }
+
+  /// All components of one kind, in registration order.
+  [[nodiscard]] std::span<const ComponentId> of_kind(
+      ComponentKind kind) const noexcept;
+
+  /// Number of distinct choices for a kind (the diversity ceiling of that
+  /// axis; e.g. trusted hardware has few — Remark 2).
+  [[nodiscard]] std::size_t variety(ComponentKind kind) const noexcept {
+    return of_kind(kind).size();
+  }
+
+  /// Upper bound on distinct configurations: product over kinds of
+  /// variety(kind) (counting the optional trusted-hardware axis as
+  /// variety+1 for "absent").
+  [[nodiscard]] double configuration_space_size() const noexcept;
+
+ private:
+  std::vector<Component> components_;
+  std::array<std::vector<ComponentId>, kComponentKindCount> by_kind_{};
+};
+
+/// A realistic COTS inventory: 4 TEE families, 8 operating systems,
+/// 6 crypto libraries, 7 consensus clients, 6 wallets, 5 databases,
+/// 5 network stacks. Names are real product families; versions are
+/// representative.
+[[nodiscard]] ComponentCatalog standard_catalog();
+
+/// A deliberately impoverished catalog (one or two choices per kind) used
+/// to study monocultures.
+[[nodiscard]] ComponentCatalog monoculture_catalog();
+
+}  // namespace findep::config

@@ -1,0 +1,47 @@
+#include "config/component.h"
+
+#include <array>
+
+namespace findep::config {
+
+const std::array<ComponentKind, kComponentKindCount>&
+all_component_kinds() noexcept {
+  static const std::array<ComponentKind, kComponentKindCount> kinds = {
+      ComponentKind::kTrustedHardware, ComponentKind::kOperatingSystem,
+      ComponentKind::kCryptoLibrary,   ComponentKind::kConsensusClient,
+      ComponentKind::kWallet,          ComponentKind::kDatabase,
+      ComponentKind::kNetworkStack,
+  };
+  return kinds;
+}
+
+std::string_view to_string(ComponentKind kind) noexcept {
+  switch (kind) {
+    case ComponentKind::kTrustedHardware:
+      return "trusted-hardware";
+    case ComponentKind::kOperatingSystem:
+      return "operating-system";
+    case ComponentKind::kCryptoLibrary:
+      return "crypto-library";
+    case ComponentKind::kConsensusClient:
+      return "consensus-client";
+    case ComponentKind::kWallet:
+      return "wallet";
+    case ComponentKind::kDatabase:
+      return "database";
+    case ComponentKind::kNetworkStack:
+      return "network-stack";
+  }
+  return "unknown";
+}
+
+std::string Component::display() const {
+  std::string out = vendor;
+  out += '/';
+  out += name;
+  out += ' ';
+  out += version;
+  return out;
+}
+
+}  // namespace findep::config

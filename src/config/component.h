@@ -1,0 +1,65 @@
+// Software/hardware components making up a replica configuration.
+//
+// The paper decomposes a replica into trusted hardware, system software and
+// application software, and singles out the wallet (key management) and the
+// consensus module as the dependability-critical application components
+// (§III-A). We model a configuration as one component choice per kind; a
+// shared component is the unit of correlated failure.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace findep::config {
+
+/// The axes of diversity. One replica picks (at most) one component per
+/// kind; TrustedHardware is optional (§V considers populations where only
+/// some replicas can attest).
+enum class ComponentKind : std::uint8_t {
+  kTrustedHardware,   // TEE/TPM: SGX, TrustZone, AMD PSP, IBM SSC...
+  kOperatingSystem,   // system software (the "heaviest component", §III-A)
+  kCryptoLibrary,     // §II-B: implementations may be flawed
+  kConsensusClient,   // consensus module / full-node implementation
+  kWallet,            // key & account management
+  kDatabase,          // COTS state storage
+  kNetworkStack,      // P2P / RPC networking library
+};
+
+inline constexpr std::size_t kComponentKindCount = 7;
+
+/// All kinds in declaration order (for iteration).
+[[nodiscard]] const std::array<ComponentKind, kComponentKindCount>&
+all_component_kinds() noexcept;
+
+[[nodiscard]] std::string_view to_string(ComponentKind kind) noexcept;
+
+/// Catalog-scoped component identifier (dense, assigned by the catalog).
+struct ComponentId {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const ComponentId&) const = default;
+};
+
+/// A concrete COTS component (e.g. "Debian 12", "OpenSSL 3.2").
+struct Component {
+  ComponentId id;
+  ComponentKind kind = ComponentKind::kOperatingSystem;
+  std::string vendor;
+  std::string name;
+  std::string version;
+
+  /// "vendor/name version" display form.
+  [[nodiscard]] std::string display() const;
+};
+
+}  // namespace findep::config
+
+template <>
+struct std::hash<findep::config::ComponentId> {
+  std::size_t operator()(const findep::config::ComponentId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,77 @@
+#include "config/replica_config.h"
+
+#include "support/assert.h"
+
+namespace findep::config {
+
+namespace {
+std::size_t kind_index(ComponentKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  FINDEP_REQUIRE(idx < kComponentKindCount);
+  return idx;
+}
+}  // namespace
+
+void ReplicaConfiguration::set(const Component& component) {
+  chosen_[kind_index(component.kind)] = component.id;
+}
+
+void ReplicaConfiguration::set(const ComponentCatalog& catalog,
+                               ComponentId id) {
+  set(catalog.get(id));
+}
+
+void ReplicaConfiguration::clear(ComponentKind kind) {
+  chosen_[kind_index(kind)].reset();
+}
+
+bool ReplicaConfiguration::has(ComponentKind kind) const noexcept {
+  return chosen_[static_cast<std::size_t>(kind)].has_value();
+}
+
+std::optional<ComponentId> ReplicaConfiguration::component(
+    ComponentKind kind) const noexcept {
+  return chosen_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<ComponentId> ReplicaConfiguration::components() const {
+  std::vector<ComponentId> out;
+  out.reserve(kComponentKindCount);
+  for (const auto& choice : chosen_) {
+    if (choice.has_value()) out.push_back(*choice);
+  }
+  return out;
+}
+
+bool ReplicaConfiguration::is_complete() const noexcept {
+  for (const ComponentKind kind : all_component_kinds()) {
+    if (kind == ComponentKind::kTrustedHardware) continue;
+    if (!has(kind)) return false;
+  }
+  return true;
+}
+
+ConfigurationId ReplicaConfiguration::digest() const {
+  crypto::Sha256 h;
+  h.update("findep/config/v1");
+  for (std::size_t i = 0; i < kComponentKindCount; ++i) {
+    h.update_u64(i);
+    h.update_u64(chosen_[i].has_value()
+                     ? static_cast<std::uint64_t>(chosen_[i]->value) + 1
+                     : 0);
+  }
+  return h.finish();
+}
+
+bool ReplicaConfiguration::shares_component_with(
+    const ReplicaConfiguration& other) const noexcept {
+  for (std::size_t i = 0; i < kComponentKindCount; ++i) {
+    if (chosen_[i].has_value() && other.chosen_[i].has_value() &&
+        *chosen_[i] == *other.chosen_[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace findep::config

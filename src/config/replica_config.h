@@ -1,0 +1,64 @@
+// A replica's full configuration: one component per kind (trusted hardware
+// optional), plus a canonical digest used as the configuration identity —
+// the `d_i ∈ D` of §IV-A. Two replicas share a fault domain exactly when
+// they share a component.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "config/catalog.h"
+#include "config/component.h"
+#include "crypto/sha256.h"
+
+namespace findep::config {
+
+/// Identity of a configuration in the space D (canonical digest).
+using ConfigurationId = crypto::Digest;
+
+/// Immutable-after-build replica configuration.
+class ReplicaConfiguration {
+ public:
+  ReplicaConfiguration() = default;
+
+  /// Sets the component for its kind (replacing any previous choice).
+  void set(const Component& component);
+  void set(const ComponentCatalog& catalog, ComponentId id);
+
+  /// Removes the choice for `kind` (only meaningful for optional kinds).
+  void clear(ComponentKind kind);
+
+  [[nodiscard]] bool has(ComponentKind kind) const noexcept;
+  [[nodiscard]] std::optional<ComponentId> component(
+      ComponentKind kind) const noexcept;
+
+  /// All chosen component ids, in kind order.
+  [[nodiscard]] std::vector<ComponentId> components() const;
+
+  /// True when every mandatory kind (everything except trusted hardware)
+  /// has a component.
+  [[nodiscard]] bool is_complete() const noexcept;
+
+  /// True when the configuration includes a TEE/TPM and can therefore be
+  /// remotely attested (the two-tier split of §V).
+  [[nodiscard]] bool is_attestable() const noexcept {
+    return has(ComponentKind::kTrustedHardware);
+  }
+
+  /// Canonical digest over (kind, component id) pairs. Equal digests ⇔
+  /// equal configurations.
+  [[nodiscard]] ConfigurationId digest() const;
+
+  /// True when the two configurations share at least one component — i.e.
+  /// a single component fault can affect both replicas.
+  [[nodiscard]] bool shares_component_with(
+      const ReplicaConfiguration& other) const noexcept;
+
+  bool operator==(const ReplicaConfiguration&) const = default;
+
+ private:
+  std::array<std::optional<ComponentId>, kComponentKindCount> chosen_{};
+};
+
+}  // namespace findep::config

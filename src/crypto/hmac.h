@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), built on the local SHA-256.
+// Used for keyed commitments (configuration privacy, Remark 3) and as the
+// PRF inside the simulated signature and VRF schemes.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace findep::crypto {
+
+/// HMAC-SHA256 over `message` with `key`. Keys longer than the 64-byte
+/// block are pre-hashed per the RFC.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::string_view message);
+
+}  // namespace findep::crypto

@@ -1,0 +1,77 @@
+#include "crypto/merkle.h"
+
+#include "support/assert.h"
+
+namespace findep::crypto {
+
+Digest MerkleTree::hash_leaf(const Digest& payload) {
+  const std::uint8_t tag = 0x00;
+  return Sha256{}
+      .update(std::span<const std::uint8_t>(&tag, 1))
+      .update(payload.bytes)
+      .finish();
+}
+
+Digest MerkleTree::hash_interior(const Digest& left, const Digest& right) {
+  const std::uint8_t tag = 0x01;
+  return Sha256{}
+      .update(std::span<const std::uint8_t>(&tag, 1))
+      .update(left.bytes)
+      .update(right.bytes)
+      .finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  FINDEP_REQUIRE_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Digest& leaf : leaves) {
+    level.push_back(hash_leaf(leaf));
+  }
+  levels_.push_back(std::move(level));
+
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(hash_interior(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 == 1) {
+      above.push_back(below.back());  // odd node promoted unchanged
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  FINDEP_REQUIRE(index < leaf_count());
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& level = levels_[depth];
+    const std::size_t sibling =
+        (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling < level.size()) {
+      proof.push_back(MerkleStep{level[sibling], pos % 2 == 0});
+    }
+    // When there is no sibling (odd promoted node) no step is emitted —
+    // the node carries up unchanged, matching the construction.
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof,
+                        const Digest& root) {
+  Digest running = hash_leaf(leaf);
+  for (const MerkleStep& step : proof) {
+    running = step.sibling_on_right
+                  ? hash_interior(running, step.sibling)
+                  : hash_interior(step.sibling, running);
+  }
+  return running == root;
+}
+
+}  // namespace findep::crypto

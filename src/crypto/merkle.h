@@ -1,0 +1,62 @@
+// Binary Merkle tree with inclusion proofs.
+//
+// Used for block transaction commitments in the Nakamoto substrate and for
+// attested-configuration registries (a verifier can check one replica's
+// attested configuration against a published registry root without seeing
+// the whole registry — part of the configuration-privacy story of §III-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace findep::crypto {
+
+/// One step of a Merkle inclusion proof.
+struct MerkleStep {
+  Digest sibling;
+  /// True when the sibling is on the right of the running hash.
+  bool sibling_on_right = false;
+
+  bool operator==(const MerkleStep&) const = default;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Immutable Merkle tree over a list of leaf digests.
+///
+/// Leaves are domain-separated from interior nodes (prefix bytes 0x00 /
+/// 0x01) so a leaf value cannot be reinterpreted as an interior node
+/// (second-preimage hardening). Odd nodes are promoted, not duplicated, so
+/// the CVE-2012-2459-style duplicate-leaf ambiguity does not arise.
+class MerkleTree {
+ public:
+  /// Builds a tree over `leaves` (raw leaf payload digests; the tree
+  /// applies leaf domain separation itself). Requires at least one leaf.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  [[nodiscard]] const Digest& root() const noexcept { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return levels_.front().size();
+  }
+
+  /// Inclusion proof for leaf `index`.
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  /// Verifies that `leaf` is included under `root` at the position encoded
+  /// by `proof`.
+  [[nodiscard]] static bool verify(const Digest& leaf,
+                                   const MerkleProof& proof,
+                                   const Digest& root);
+
+  [[nodiscard]] static Digest hash_leaf(const Digest& payload);
+  [[nodiscard]] static Digest hash_interior(const Digest& left,
+                                            const Digest& right);
+
+ private:
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+  Digest root_;
+};
+
+}  // namespace findep::crypto

@@ -1,0 +1,40 @@
+#include "crypto/vrf.h"
+
+namespace findep::crypto {
+
+namespace {
+constexpr std::string_view kVrfDomain = "findep/vrf/v1";
+
+Digest vrf_value(const Digest& secret, const Digest& input) {
+  const Digest keyed =
+      Sha256{}.update(kVrfDomain).update(secret.bytes).finish();
+  return hmac_sha256(keyed.bytes, input.bytes);
+}
+
+Digest proof_message(const Digest& input, const Digest& value) {
+  return Sha256{}
+      .update("findep/vrf-proof/v1")
+      .update(input.bytes)
+      .update(value.bytes)
+      .finish();
+}
+}  // namespace
+
+VrfOutput vrf_evaluate(const KeyPair& keys, const Digest& input) {
+  const Digest value = vrf_value(keys.secret_for_oracle(), input);
+  return VrfOutput{value, keys.sign(proof_message(input, value))};
+}
+
+bool vrf_verify(const KeyRegistry& registry, const PublicKey& pub,
+                const Digest& input, const VrfOutput& out) {
+  // The proof signature binds (input, value) to the key...
+  if (!registry.verify(pub, proof_message(input, out.value), out.proof)) {
+    return false;
+  }
+  // ...and the oracle recomputes the value, modelling VRF *uniqueness*: a
+  // key holder cannot get a self-chosen "random" value accepted.
+  const auto secret = registry.oracle_secret(pub);
+  return secret.has_value() && vrf_value(*secret, input) == out.value;
+}
+
+}  // namespace findep::crypto

@@ -1,0 +1,39 @@
+// Simulated Verifiable Random Function.
+//
+// Committee sortition (src/committee) needs a per-replica pseudo-random
+// value that (a) the replica can compute privately, (b) everyone can verify
+// afterwards, and (c) nobody can grind. We model this as a keyed hash whose
+// verification goes through the same KeyRegistry oracle as signatures —
+// the standard VRF interface (evaluate/verify + uniform output) with
+// simulation-grade internals.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+
+namespace findep::crypto {
+
+/// VRF evaluation result: the pseudo-random output plus a proof binding it
+/// to (public key, input).
+struct VrfOutput {
+  Digest value;
+  Signature proof;
+
+  /// Output mapped into [0, 1) — used for sortition thresholds.
+  [[nodiscard]] double as_unit_double() const noexcept {
+    return static_cast<double>(value.prefix64()) * 0x1.0p-64;
+  }
+};
+
+/// Evaluates the VRF of `keys` on `input`.
+[[nodiscard]] VrfOutput vrf_evaluate(const KeyPair& keys,
+                                     const Digest& input);
+
+/// Verifies that `out` is the unique VRF output of `pub` on `input`.
+[[nodiscard]] bool vrf_verify(const KeyRegistry& registry,
+                              const PublicKey& pub, const Digest& input,
+                              const VrfOutput& out);
+
+}  // namespace findep::crypto

@@ -1,0 +1,136 @@
+#include "diversity/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+ConfigDistribution DiversityAnalyzer::distribution_of(
+    const std::vector<ReplicaRecord>& population, bool include_unattested) {
+  ConfigDistribution dist;
+  for (const auto& rec : population) {
+    if (!rec.attested && !include_unattested) continue;
+    dist.add(rec.configuration, rec.power, 1);
+  }
+  return dist;
+}
+
+DiversityReport DiversityAnalyzer::analyze(
+    const std::vector<ReplicaRecord>& population) {
+  FINDEP_REQUIRE(!population.empty());
+  DiversityReport report;
+  report.replica_count = population.size();
+
+  double attested_power = 0.0;
+  for (const auto& rec : population) {
+    FINDEP_REQUIRE(rec.power >= 0.0);
+    report.total_power += rec.power;
+    if (rec.attested) attested_power += rec.power;
+  }
+  FINDEP_REQUIRE_MSG(report.total_power > 0.0,
+                     "population must carry positive voting power");
+  report.attested_fraction = attested_power / report.total_power;
+
+  const ConfigDistribution dist = distribution_of(population);
+  report.support = dist.support_size();
+  report.entropy_bits = shannon_entropy(dist);
+  report.max_entropy_bits = max_entropy_bits(report.support);
+  report.evenness = evenness(dist);
+  report.effective_configs = std::exp2(report.entropy_bits);
+  report.dominance = berger_parker(dist);
+  report.bft = summarize_resilience(dist, kBftThreshold);
+  report.nakamoto = summarize_resilience(dist, kNakamotoThreshold);
+
+  // Component-level exposure: aggregate power per concrete component.
+  struct Acc {
+    double power = 0.0;
+    std::size_t replicas = 0;
+    config::ComponentKind kind = config::ComponentKind::kOperatingSystem;
+  };
+  std::unordered_map<config::ComponentId, Acc> per_component;
+  std::unordered_map<config::ComponentKind,
+                     std::unordered_map<config::ComponentId, double>>
+      per_kind_power;
+  for (const auto& rec : population) {
+    for (const config::ComponentKind kind : config::all_component_kinds()) {
+      const auto comp = rec.configuration.component(kind);
+      if (!comp.has_value()) continue;
+      Acc& acc = per_component[*comp];
+      acc.power += rec.power;
+      acc.replicas += 1;
+      acc.kind = kind;
+      per_kind_power[kind][*comp] += rec.power;
+    }
+  }
+
+  std::unordered_map<config::ComponentKind, ComponentExposure> worst_by_kind;
+  for (const auto& [id, acc] : per_component) {
+    ComponentExposure exp;
+    exp.component = id;
+    exp.kind = acc.kind;
+    exp.power_fraction = acc.power / report.total_power;
+    exp.replicas = acc.replicas;
+    auto [it, inserted] = worst_by_kind.try_emplace(acc.kind, exp);
+    if (!inserted && exp.power_fraction > it->second.power_fraction) {
+      it->second = exp;
+    }
+    if (!report.worst_overall.has_value() ||
+        exp.power_fraction > report.worst_overall->power_fraction) {
+      report.worst_overall = exp;
+    }
+  }
+  for (const config::ComponentKind kind : config::all_component_kinds()) {
+    const auto it = worst_by_kind.find(kind);
+    if (it != worst_by_kind.end()) {
+      report.worst_per_kind.push_back(it->second);
+    }
+  }
+
+  for (const auto& [kind, powers] : per_kind_power) {
+    std::vector<double> weights;
+    weights.reserve(powers.size());
+    for (const auto& [id, p] : powers) weights.push_back(p);
+    report.kind_entropy_bits[kind] = shannon_entropy(weights);
+  }
+
+  return report;
+}
+
+std::string DiversityReport::to_string(
+    const config::ComponentCatalog* catalog) const {
+  std::ostringstream out;
+  out << "diversity report: " << replica_count << " replicas, total power "
+      << total_power << " (" << attested_fraction * 100.0 << "% attested)\n";
+  out << "  configurations: support=" << support << "  H=" << entropy_bits
+      << " bits (max " << max_entropy_bits << ", evenness " << evenness
+      << ")\n";
+  out << "  effective configurations (2^H): " << effective_configs
+      << ", dominance (largest share): " << dominance << '\n';
+  out << "  faults to break BFT 1/3: " << bft.min_faults
+      << ", Nakamoto 1/2: " << nakamoto.min_faults << '\n';
+  if (worst_overall.has_value()) {
+    out << "  worst single component: ";
+    if (catalog != nullptr) {
+      out << catalog->get(worst_overall->component).display();
+    } else {
+      out << "component#" << worst_overall->component.value;
+    }
+    out << " (" << config::to_string(worst_overall->kind) << ") affects "
+        << worst_overall->power_fraction * 100.0 << "% of power across "
+        << worst_overall->replicas << " replicas\n";
+  }
+  for (const config::ComponentKind kind : config::all_component_kinds()) {
+    const auto it = kind_entropy_bits.find(kind);
+    if (it == kind_entropy_bits.end()) continue;
+    out << "  axis " << config::to_string(kind) << ": H=" << it->second
+        << " bits\n";
+  }
+  return out.str();
+}
+
+}  // namespace findep::diversity

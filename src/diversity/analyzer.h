@@ -1,0 +1,87 @@
+// DiversityAnalyzer: from a population of (configuration, voting power)
+// records to the paper's diversity and resilience quantities.
+//
+// Beyond the configuration-level entropy of §IV, the analyzer also works
+// at *component* granularity: a vulnerability lives in one component
+// (§II-B), so the true blast radius of a single fault is the total power
+// of all replicas sharing that component — across configurations. This is
+// the quantity the safety condition Σ f_t^i actually depends on; the
+// configuration-level view is the upper bound the paper analyzes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "config/replica_config.h"
+#include "diversity/distribution.h"
+#include "diversity/resilience.h"
+
+namespace findep::diversity {
+
+/// One replica as seen by the analyzer (e.g. from the attestation
+/// registry): its attested configuration and voting power.
+struct ReplicaRecord {
+  config::ReplicaConfiguration configuration;
+  VotingPower power = 0.0;
+  /// Whether the configuration is known through remote attestation (§V);
+  /// non-attested replicas are treated as a correlated unknown mass in
+  /// worst-case analyses.
+  bool attested = true;
+};
+
+/// Blast radius of the single worst component fault.
+struct ComponentExposure {
+  config::ComponentId component;
+  config::ComponentKind kind = config::ComponentKind::kOperatingSystem;
+  /// Fraction of total power running this component.
+  double power_fraction = 0.0;
+  std::size_t replicas = 0;
+};
+
+/// Full diversity report.
+struct DiversityReport {
+  std::size_t replica_count = 0;
+  VotingPower total_power = 0.0;
+  double attested_fraction = 1.0;  // power-weighted
+
+  // Configuration-level (§IV-A).
+  std::size_t support = 0;                // k' = |p'|
+  double entropy_bits = 0.0;              // H(p)
+  double max_entropy_bits = 0.0;          // log2 support
+  double evenness = 0.0;                  // H / log2 k'
+  double effective_configs = 0.0;         // 2^H
+  double dominance = 0.0;                 // Berger–Parker
+  ResilienceSummary bft;                  // threshold 1/3
+  ResilienceSummary nakamoto;             // threshold 1/2
+
+  // Component-level.
+  std::vector<ComponentExposure> worst_per_kind;  // one per kind present
+  std::optional<ComponentExposure> worst_overall;
+
+  /// Per-kind Shannon entropy of the power distribution over that kind's
+  /// variants (diversity per axis).
+  std::unordered_map<config::ComponentKind, double> kind_entropy_bits;
+
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string to_string(
+      const config::ComponentCatalog* catalog = nullptr) const;
+};
+
+/// Computes reports from replica populations.
+class DiversityAnalyzer {
+ public:
+  /// Builds the configuration-level distribution of a population
+  /// (attested replicas only unless `include_unattested`).
+  [[nodiscard]] static ConfigDistribution distribution_of(
+      const std::vector<ReplicaRecord>& population,
+      bool include_unattested = true);
+
+  /// Full report over a population. Requires non-empty population with
+  /// positive total power.
+  [[nodiscard]] static DiversityReport analyze(
+      const std::vector<ReplicaRecord>& population);
+};
+
+}  // namespace findep::diversity

@@ -1,0 +1,46 @@
+// Literature datasets used by the paper's evaluation.
+//
+// Example 1 / Figure 1 are computed from the Bitcoin mining-pool power
+// distribution observed on blockchain.com on 2023-02-02 (7-day average):
+// 17 pools holding 99.13% of the hashrate. The share vector below is the
+// one printed in the paper, in the paper's order (Foundry USA first).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "diversity/distribution.h"
+
+namespace findep::diversity::datasets {
+
+/// Number of named pools in the Example-1 snapshot.
+inline constexpr std::size_t kBitcoinPoolCount = 17;
+
+/// The 17 pool shares, in percent of total network hashrate, exactly as
+/// printed in Example 1. They sum to ≈99.145% (the paper rounds the
+/// residual to 0.87%); `bitcoin_residual_percent()` returns the exact
+/// complement so totals always sum to 100%.
+[[nodiscard]] std::span<const double> bitcoin_pool_shares_percent();
+
+/// Display names for the pools (top-10 names from the cited chart; the
+/// tail entries are labeled pool-11..pool-17 as the paper does not name
+/// them).
+[[nodiscard]] std::span<const std::string_view> bitcoin_pool_names();
+
+/// 100 − Σ shares: the unattributed hashrate (paper: "the rest 0.87%").
+[[nodiscard]] double bitcoin_residual_percent();
+
+/// The Figure-1 distribution: the 17 pools plus the residual hashrate
+/// split uniformly over `residual_miners` additional unique
+/// configurations. `residual_miners` ranges over 1..1000 in the figure.
+[[nodiscard]] ConfigDistribution bitcoin_best_case_distribution(
+    std::size_t residual_miners);
+
+/// Entropy series for Figure 1: H(x) for x in [1, max_miners].
+/// Index i holds H(i + 1... ); entry j corresponds to x = j + 1.
+[[nodiscard]] std::vector<double> figure1_entropy_series(
+    std::size_t max_miners);
+
+}  // namespace findep::diversity::datasets

@@ -1,0 +1,112 @@
+#include "diversity/manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+LazarusStyleAssigner::LazarusStyleAssigner(
+    const config::ComponentCatalog& catalog)
+    : catalog_(&catalog) {}
+
+std::vector<config::ReplicaConfiguration> LazarusStyleAssigner::assign(
+    std::size_t n) const {
+  config::ConfigurationSampler sampler(*catalog_, config::SamplerOptions{});
+  return sampler.distinct_configurations(n);
+}
+
+WeightCapPolicy::WeightCapPolicy(double cap_fraction) : cap_(cap_fraction) {
+  FINDEP_REQUIRE(cap_fraction > 0.0 && cap_fraction <= 1.0);
+}
+
+CappedDistribution WeightCapPolicy::apply(
+    const ConfigDistribution& dist) const {
+  FINDEP_REQUIRE(dist.total_power() > 0.0);
+  CappedDistribution out;
+  out.cap = cap_;
+  const double cap_power = cap_ * dist.total_power();
+  double retained = 0.0;
+  for (const auto& e : dist.entries()) {
+    const double counted = std::min(e.power, cap_power);
+    retained += counted;
+    if (counted > 0.0) {
+      out.distribution.add(e.id, counted, e.abundance);
+    }
+  }
+  out.retained_fraction = retained / dist.total_power();
+  return out;
+}
+
+WeightCapPolicy WeightCapPolicy::tightest_for_entropy(
+    const ConfigDistribution& dist, double target_entropy_bits) {
+  FINDEP_REQUIRE(target_entropy_bits >= 0.0);
+  // Candidate caps are the distinct shares themselves (capping between two
+  // consecutive shares behaves like capping at the lower one) plus 1.
+  std::vector<double> candidates = dist.shares();
+  candidates.push_back(1.0);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  WeightCapPolicy best(1.0);
+  double best_entropy = -1.0;
+  // Scan from loosest (1.0) to tightest; remember the loosest cap that
+  // meets the target, else the cap with the highest entropy.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    if (*it <= 0.0) continue;
+    const WeightCapPolicy policy(*it);
+    const double h = shannon_entropy(policy.apply(dist).distribution);
+    if (h >= target_entropy_bits) {
+      return policy;  // loosest sufficient cap
+    }
+    if (h > best_entropy) {
+      best_entropy = h;
+      best = policy;
+    }
+  }
+  return best;
+}
+
+TwoTierPolicy::TwoTierPolicy(double attested_weight)
+    : weight_(attested_weight) {
+  FINDEP_REQUIRE(attested_weight >= 1.0);
+}
+
+TwoTierOutcome TwoTierPolicy::apply(
+    const std::vector<ReplicaRecord>& population) const {
+  FINDEP_REQUIRE(!population.empty());
+  TwoTierOutcome out;
+  out.attested_weight = weight_;
+
+  double unknown_power = 0.0;
+  std::size_t unknown_count = 0;
+  for (const auto& rec : population) {
+    FINDEP_REQUIRE(rec.power >= 0.0);
+    if (rec.attested) {
+      out.effective.add(rec.configuration, rec.power * weight_, 1);
+    } else {
+      unknown_power += rec.power;  // weight 1
+      ++unknown_count;
+    }
+  }
+  if (unknown_power > 0.0) {
+    // One correlated mass: without attestation we cannot rule out that all
+    // non-attested replicas share a configuration (worst case, §V).
+    const auto unknown_id = crypto::Sha256{}
+                                .update("findep/two-tier-unknown/v1")
+                                .finish();
+    out.effective.add(unknown_id, unknown_power,
+                      std::max<std::size_t>(1, unknown_count));
+  }
+  FINDEP_REQUIRE_MSG(out.effective.total_power() > 0.0,
+                     "population carries no voting power");
+  out.unknown_share = unknown_power / out.effective.total_power();
+  out.bft = summarize_resilience(out.effective, kBftThreshold);
+  out.nakamoto = summarize_resilience(out.effective, kNakamotoThreshold);
+  return out;
+}
+
+}  // namespace findep::diversity

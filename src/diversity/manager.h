@@ -1,0 +1,104 @@
+// Diversity enforcement policies.
+//
+// Three enforcement mechanisms, matching the paper's discussion:
+//  1. `LazarusStyleAssigner` — the permissioned baseline (§III-A, [2]):
+//     a trusted coordinator assigns maximally-diverse configurations.
+//  2. `WeightCapPolicy` — a permissionless mechanism: cap the voting
+//     weight any single configuration can carry, redistributing the
+//     excess pro-rata. Caps directly raise entropy/evenness at the cost
+//     of discounting some honest voting power.
+//  3. `TwoTierPolicy` — the paper's §V proposal: attested replicas (whose
+//     configuration is known via remote attestation) receive a higher
+//     voting weight than non-attested replicas, whose unknown
+//     configurations must be treated as a single correlated mass in
+//     worst-case analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "config/sampler.h"
+#include "diversity/analyzer.h"
+#include "diversity/distribution.h"
+
+namespace findep::diversity {
+
+/// Permissioned baseline: deterministic assignment of maximally distinct
+/// configurations to n replicas (round-robin over the catalog's variants).
+class LazarusStyleAssigner {
+ public:
+  explicit LazarusStyleAssigner(const config::ComponentCatalog& catalog);
+
+  /// Configurations for n replicas; adjacent assignments share no
+  /// component while n does not exceed each kind's variety.
+  [[nodiscard]] std::vector<config::ReplicaConfiguration> assign(
+      std::size_t n) const;
+
+ private:
+  const config::ComponentCatalog* catalog_;
+};
+
+/// Result of applying a weight cap.
+struct CappedDistribution {
+  ConfigDistribution distribution;
+  /// Fraction of the original voting power still counted (≤ 1).
+  double retained_fraction = 1.0;
+  /// Cap actually applied, as a fraction of original total power.
+  double cap = 1.0;
+};
+
+/// Permissionless weight capping: every configuration's counted power is
+/// min(power, cap·total). The paper's oligopoly problem (34% Foundry) is
+/// exactly a cap violation.
+class WeightCapPolicy {
+ public:
+  /// `cap_fraction` in (0, 1].
+  explicit WeightCapPolicy(double cap_fraction);
+
+  [[nodiscard]] CappedDistribution apply(
+      const ConfigDistribution& dist) const;
+
+  /// Smallest cap (searched over the distribution's distinct shares) that
+  /// achieves at least `target_entropy_bits`, or the tightest achievable
+  /// cap if the target is unreachable.
+  [[nodiscard]] static WeightCapPolicy tightest_for_entropy(
+      const ConfigDistribution& dist, double target_entropy_bits);
+
+  [[nodiscard]] double cap_fraction() const noexcept { return cap_; }
+
+ private:
+  double cap_;
+};
+
+/// Effective voting-power view under the two-tier scheme.
+struct TwoTierOutcome {
+  /// Effective distribution: attested configurations individually, plus
+  /// (at most) one aggregated "unknown" configuration for the
+  /// non-attested mass.
+  ConfigDistribution effective;
+  double attested_weight = 1.0;
+  /// Share of effective power held by the unknown (non-attested) mass.
+  double unknown_share = 0.0;
+  /// Resilience of the effective distribution at the BFT threshold.
+  ResilienceSummary bft;
+  /// Resilience at the honest-majority threshold.
+  ResilienceSummary nakamoto;
+};
+
+/// §V: attested replicas get weight `attested_weight` ≥ 1 per unit of
+/// voting power, non-attested replicas weight 1, and the non-attested mass
+/// is one correlated configuration in the worst-case analysis.
+class TwoTierPolicy {
+ public:
+  explicit TwoTierPolicy(double attested_weight);
+
+  [[nodiscard]] TwoTierOutcome apply(
+      const std::vector<ReplicaRecord>& population) const;
+
+  [[nodiscard]] double attested_weight() const noexcept { return weight_; }
+
+ private:
+  double weight_;
+};
+
+}  // namespace findep::diversity

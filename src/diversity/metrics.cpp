@@ -1,0 +1,119 @@
+#include "diversity/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+namespace {
+
+/// Validates weights and returns their sum (> 0).
+double checked_total(std::span<const double> weights) {
+  FINDEP_REQUIRE(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    FINDEP_REQUIRE_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  FINDEP_REQUIRE_MSG(total > 0.0, "weights must have a positive sum");
+  return total;
+}
+
+std::size_t support_of(std::span<const double> weights) {
+  std::size_t k = 0;
+  for (const double w : weights) {
+    if (w > 0.0) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+double shannon_entropy(std::span<const double> weights) {
+  const double total = checked_total(weights);
+  double h = 0.0;
+  for (const double w : weights) {
+    if (w <= 0.0) continue;  // p log(1/p) := 0 at p = 0 (§IV-A)
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double shannon_entropy(const ConfigDistribution& dist) {
+  return shannon_entropy(dist.shares());
+}
+
+double evenness(std::span<const double> weights) {
+  const std::size_t k = support_of(weights);
+  FINDEP_REQUIRE(k > 0);
+  if (k == 1) return 1.0;
+  return shannon_entropy(weights) / std::log2(static_cast<double>(k));
+}
+
+double evenness(const ConfigDistribution& dist) {
+  return evenness(dist.shares());
+}
+
+double renyi_entropy(std::span<const double> weights, double alpha) {
+  FINDEP_REQUIRE(alpha >= 0.0);
+  if (std::abs(alpha - 1.0) < 1e-12) return shannon_entropy(weights);
+  const double total = checked_total(weights);
+  if (alpha == 0.0) {
+    return std::log2(static_cast<double>(support_of(weights)));
+  }
+  double sum = 0.0;
+  for (const double w : weights) {
+    if (w <= 0.0) continue;
+    sum += std::pow(w / total, alpha);
+  }
+  return std::log2(sum) / (1.0 - alpha);
+}
+
+double hill_number(std::span<const double> weights, double q) {
+  FINDEP_REQUIRE(q >= 0.0);
+  return std::exp2(renyi_entropy(weights, q));
+}
+
+double hill_number(const ConfigDistribution& dist, double q) {
+  return hill_number(dist.shares(), q);
+}
+
+double simpson_index(std::span<const double> weights) {
+  const double total = checked_total(weights);
+  double sum = 0.0;
+  for (const double w : weights) {
+    const double p = w / total;
+    sum += p * p;
+  }
+  return sum;
+}
+
+double gini_simpson(std::span<const double> weights) {
+  return 1.0 - simpson_index(weights);
+}
+
+double berger_parker(std::span<const double> weights) {
+  const double total = checked_total(weights);
+  double max_w = 0.0;
+  for (const double w : weights) max_w = std::max(max_w, w);
+  return max_w / total;
+}
+
+double berger_parker(const ConfigDistribution& dist) {
+  return berger_parker(dist.shares());
+}
+
+double kl_from_uniform(std::span<const double> weights) {
+  const std::size_t k = support_of(weights);
+  FINDEP_REQUIRE(k > 0);
+  return std::log2(static_cast<double>(k)) - shannon_entropy(weights);
+}
+
+double kl_from_uniform(const ConfigDistribution& dist) {
+  return kl_from_uniform(dist.shares());
+}
+
+}  // namespace findep::diversity

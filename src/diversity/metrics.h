@@ -1,0 +1,60 @@
+// Diversity metrics over configuration distributions (§IV-A).
+//
+// The paper proposes Shannon entropy as the replica-diversity measure; we
+// implement it (in bits, so "8 uniform replicas ⇒ H = 3" as in Example 1)
+// together with the standard ecology companions — Rényi spectra, Hill
+// numbers ("effective number of configurations"), Simpson/Gini–Simpson and
+// the Berger–Parker dominance index — which the paper's abundance
+// discussion (§IV-B) borrows its vocabulary from.
+//
+// All functions accept either a raw share vector (need not be normalized;
+// zero entries are skipped, matching the paper's convention log(1/0) := 0)
+// or a `ConfigDistribution`.
+#pragma once
+
+#include <span>
+
+#include "diversity/distribution.h"
+
+namespace findep::diversity {
+
+/// Shannon entropy in bits: H(p) = −Σ p_i log2 p_i.
+/// Requires all weights ≥ 0 and a positive sum; weights are normalized
+/// internally, zero weights contribute 0.
+[[nodiscard]] double shannon_entropy(std::span<const double> weights);
+[[nodiscard]] double shannon_entropy(const ConfigDistribution& dist);
+
+/// H(p) / log2 k over the support size k (Pielou evenness); 1 for uniform.
+/// Defined as 1 when k == 1.
+[[nodiscard]] double evenness(std::span<const double> weights);
+[[nodiscard]] double evenness(const ConfigDistribution& dist);
+
+/// Rényi entropy of order alpha (alpha ≥ 0, alpha ≠ 1; alpha == 1 is
+/// handled as the Shannon limit). In bits.
+[[nodiscard]] double renyi_entropy(std::span<const double> weights,
+                                   double alpha);
+
+/// Hill number of order q: the "effective number of configurations".
+/// q = 0: support size; q = 1: 2^H; q = 2: 1/Σp_i²; q → ∞: 1/max p_i.
+[[nodiscard]] double hill_number(std::span<const double> weights, double q);
+[[nodiscard]] double hill_number(const ConfigDistribution& dist, double q);
+
+/// Simpson concentration Σ p_i² (probability two random voting-power
+/// units share a configuration — i.e. share every fault domain).
+[[nodiscard]] double simpson_index(std::span<const double> weights);
+
+/// Gini–Simpson diversity 1 − Σ p_i².
+[[nodiscard]] double gini_simpson(std::span<const double> weights);
+
+/// Berger–Parker dominance: the largest share (the paper's "oligopoly"
+/// indicator — 0.34 for Foundry USA in Example 1).
+[[nodiscard]] double berger_parker(std::span<const double> weights);
+[[nodiscard]] double berger_parker(const ConfigDistribution& dist);
+
+/// Kullback–Leibler divergence (bits) from `p` to the uniform distribution
+/// on p's support: log2 k − H(p). Zero iff p is uniform on its support —
+/// the "distance to κ-optimality" used throughout the experiments.
+[[nodiscard]] double kl_from_uniform(std::span<const double> weights);
+[[nodiscard]] double kl_from_uniform(const ConfigDistribution& dist);
+
+}  // namespace findep::diversity

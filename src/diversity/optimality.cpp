@@ -1,0 +1,66 @@
+#include "diversity/optimality.h"
+
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+bool is_kappa_optimal(std::span<const double> weights, std::size_t kappa,
+                      double tolerance) {
+  FINDEP_REQUIRE(tolerance >= 0.0);
+  double total = 0.0;
+  std::size_t support = 0;
+  for (const double w : weights) {
+    FINDEP_REQUIRE(w >= 0.0);
+    total += w;
+    if (w > 0.0) ++support;
+  }
+  if (support != kappa || total <= 0.0) return false;
+  const double expected = total / static_cast<double>(kappa);
+  for (const double w : weights) {
+    if (w > 0.0 && std::abs(w - expected) > tolerance * total) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_kappa_optimal(const ConfigDistribution& dist, std::size_t kappa,
+                      double tolerance) {
+  std::vector<double> weights;
+  weights.reserve(dist.entries().size());
+  for (const auto& e : dist.entries()) weights.push_back(e.power);
+  return is_kappa_optimal(weights, kappa, tolerance);
+}
+
+std::size_t kappa_of(const ConfigDistribution& dist) {
+  return dist.support_size();
+}
+
+bool is_kappa_omega_optimal(const ConfigDistribution& dist,
+                            std::size_t kappa, std::size_t omega,
+                            double tolerance) {
+  if (!is_kappa_optimal(dist, kappa, tolerance)) return false;
+  for (const auto& e : dist.entries()) {
+    if (e.power > 0.0 && e.abundance != omega) return false;
+  }
+  return true;
+}
+
+double max_entropy_bits(std::size_t kappa) {
+  FINDEP_REQUIRE(kappa > 0);
+  return std::log2(static_cast<double>(kappa));
+}
+
+double optimality_gap_bits(const ConfigDistribution& dist) {
+  return kl_from_uniform(dist);
+}
+
+std::size_t equivalent_uniform_configs(double entropy_bits) {
+  FINDEP_REQUIRE(entropy_bits >= 0.0);
+  return static_cast<std::size_t>(std::ceil(std::exp2(entropy_bits) - 1e-9));
+}
+
+}  // namespace findep::diversity

@@ -1,0 +1,49 @@
+// Definition 1 (κ-optimal fault independence) and Definition 2
+// ((κ, ω)-optimal resilience) as executable predicates, plus gap metrics
+// quantifying how far a real distribution is from optimal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "diversity/distribution.h"
+
+namespace findep::diversity {
+
+/// Tolerance used when comparing floating-point shares for equality.
+inline constexpr double kShareTolerance = 1e-9;
+
+/// Definition 1: p achieves κ-optimal fault independence iff its support
+/// has exactly κ configurations and all nonzero shares are equal.
+[[nodiscard]] bool is_kappa_optimal(std::span<const double> weights,
+                                    std::size_t kappa,
+                                    double tolerance = kShareTolerance);
+[[nodiscard]] bool is_kappa_optimal(const ConfigDistribution& dist,
+                                    std::size_t kappa,
+                                    double tolerance = kShareTolerance);
+
+/// The κ for which the distribution *could* be κ-optimal: its support
+/// size. (The distribution is actually κ-optimal only if also uniform.)
+[[nodiscard]] std::size_t kappa_of(const ConfigDistribution& dist);
+
+/// Definition 2: κ-optimal fault independence with configuration abundance
+/// exactly ω for every configuration in the support.
+[[nodiscard]] bool is_kappa_omega_optimal(const ConfigDistribution& dist,
+                                          std::size_t kappa,
+                                          std::size_t omega,
+                                          double tolerance = kShareTolerance);
+
+/// Maximum achievable entropy for a support of size κ: log2 κ bits.
+[[nodiscard]] double max_entropy_bits(std::size_t kappa);
+
+/// Entropy shortfall of the distribution relative to κ-optimality on its
+/// own support: log2 k' − H(p) ≥ 0 (equals kl_from_uniform).
+[[nodiscard]] double optimality_gap_bits(const ConfigDistribution& dist);
+
+/// Smallest number of configurations whose uniform distribution reaches at
+/// least the given entropy: κ_min = ceil(2^H). This is the paper's
+/// Example-1 comparison direction — "Bitcoin's entropy < 3 means it is no
+/// more diverse than a κ-optimal system with 8 configurations".
+[[nodiscard]] std::size_t equivalent_uniform_configs(double entropy_bits);
+
+}  // namespace findep::diversity

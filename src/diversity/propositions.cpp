@@ -1,0 +1,95 @@
+#include "diversity/propositions.h"
+
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+bool Prop1Result::holds(double tolerance) const {
+  if (relative_abundance_preserved) {
+    return std::abs(entropy_after - entropy_before) <= tolerance;
+  }
+  return entropy_after < entropy_before + tolerance;
+}
+
+Prop1Result check_proposition1(const ConfigDistribution& base,
+                               std::span<const double> growth) {
+  FINDEP_REQUIRE(growth.size() == base.entries().size());
+  FINDEP_REQUIRE_MSG(
+      is_kappa_optimal(base, base.support_size()),
+      "Proposition 1 is stated for κ-optimal starting distributions");
+  Prop1Result out;
+  out.entropy_before = shannon_entropy(base);
+
+  ConfigDistribution grown = base;
+  bool preserved = true;
+  double first_factor = 0.0;
+  bool saw_first = false;
+  for (std::size_t i = 0; i < growth.size(); ++i) {
+    const double factor = growth[i];
+    FINDEP_REQUIRE_MSG(factor >= 1.0,
+                       "abundance growth factors must be >= 1");
+    if (base.entries()[i].power <= 0.0) continue;
+    if (!saw_first) {
+      first_factor = factor;
+      saw_first = true;
+    } else if (std::abs(factor - first_factor) > 1e-12) {
+      preserved = false;
+    }
+    grown.scale(base.entries()[i].id, factor,
+                std::max<std::size_t>(
+                    1, static_cast<std::size_t>(std::llround(factor))));
+  }
+  out.relative_abundance_preserved = preserved;
+  out.entropy_after = shannon_entropy(grown);
+  return out;
+}
+
+Prop2Result check_proposition2(const ConfigDistribution& base,
+                               std::span<const double> added_shares) {
+  Prop2Result out;
+  out.entropy_before = shannon_entropy(base);
+
+  ConfigDistribution extended = base.normalized();
+  double added_total = 0.0;
+  for (const double s : added_shares) {
+    FINDEP_REQUIRE(s >= 0.0);
+    added_total += s;
+  }
+  FINDEP_REQUIRE_MSG(added_total < 1.0,
+                     "added shares are fractions of the new total");
+  // Rescale the existing power to (1 - added_total), then append the new
+  // unique configurations.
+  ConfigDistribution result;
+  for (const auto& e : extended.entries()) {
+    result.add(e.id, e.power * (1.0 - added_total), e.abundance);
+  }
+  for (std::size_t i = 0; i < added_shares.size(); ++i) {
+    const auto id = crypto::Sha256{}
+                        .update("findep/prop2-added/v1")
+                        .update_u64(i)
+                        .finish();
+    result.add(id, added_shares[i], 1);
+  }
+  out.entropy_after = shannon_entropy(result);
+  out.max_entropy_after = max_entropy_bits(result.support_size());
+  return out;
+}
+
+Prop3Result analyze_proposition3(std::size_t kappa, std::size_t omega) {
+  FINDEP_REQUIRE(kappa > 0);
+  FINDEP_REQUIRE(omega > 0);
+  Prop3Result out;
+  out.kappa = kappa;
+  out.omega = omega;
+  const double replicas = static_cast<double>(kappa * omega);
+  out.operator_fraction = 1.0 / replicas;
+  out.vulnerability_fraction = 1.0 / static_cast<double>(kappa);
+  out.relative_message_cost = replicas * replicas;
+  return out;
+}
+
+}  // namespace findep::diversity

@@ -1,0 +1,82 @@
+// Executable forms of Propositions 1–3 (§IV-B).
+//
+// The paper states the propositions informally; here each becomes a
+// checkable experiment over concrete distributions, so the test suite can
+// verify them across parameter sweeps and the bench harness can print the
+// curves behind them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "diversity/distribution.h"
+
+namespace findep::diversity {
+
+/// Proposition 1: "For a κ-optimal fault-independence system, increasing
+/// configuration abundance decreases entropy, unless the relative
+/// configuration abundance remains identical."
+///
+/// Experiment form: start from the κ-optimal `base`, multiply the power
+/// and abundance of configuration i by `growth[i]`, and compare entropies.
+struct Prop1Result {
+  double entropy_before = 0.0;
+  double entropy_after = 0.0;
+  /// True when the growth vector preserved relative abundance (all
+  /// factors equal).
+  bool relative_abundance_preserved = false;
+  /// The proposition's claim: entropy_after < entropy_before unless
+  /// relative abundance is preserved (then equal).
+  [[nodiscard]] bool holds(double tolerance = 1e-9) const;
+};
+
+[[nodiscard]] Prop1Result check_proposition1(
+    const ConfigDistribution& base, std::span<const double> growth);
+
+/// Proposition 2: "Assuming each replica has a unique configuration,
+/// having more replicas does not provide more resilience, unless the
+/// relative configuration abundances are identical."
+///
+/// Experiment form: extend `base` with `added` extra unique configurations
+/// carrying shares `added_shares` (of the *new* total). Resilience proxy is
+/// entropy; the claim is that the extended system's entropy stays below
+/// the κ-optimal entropy of the extended support unless uniform, and in
+/// particular adding dust-weight replicas leaves entropy ≈ unchanged.
+struct Prop2Result {
+  double entropy_before = 0.0;
+  double entropy_after = 0.0;
+  double max_entropy_after = 0.0;  // log2(k_before + added)
+  /// Gap to the optimum after extension; > 0 unless uniform.
+  [[nodiscard]] double gap_after() const {
+    return max_entropy_after - entropy_after;
+  }
+};
+
+[[nodiscard]] Prop2Result check_proposition2(
+    const ConfigDistribution& base, std::span<const double> added_shares);
+
+/// Proposition 3: "Higher configuration abundance improves the resilience
+/// of permissionless blockchains."
+///
+/// Analytic form (the Monte-Carlo form lives in faults/ and bench/): with
+/// κ configurations of abundance ω and per-replica voting power 1, a
+/// malicious *operator* (not a vulnerability) controls a single replica,
+/// i.e. fraction 1/(κω) of the power; a vulnerability still controls a
+/// whole configuration, fraction 1/κ. Returns both fractions so callers
+/// can see that operator-compromise shrinks with ω while
+/// vulnerability-compromise is ω-invariant.
+struct Prop3Result {
+  std::size_t kappa = 0;
+  std::size_t omega = 0;
+  double operator_fraction = 0.0;       // 1/(κω)
+  double vulnerability_fraction = 0.0;  // 1/κ
+  /// Messages per consensus round proportional to (κω)² for quadratic
+  /// BFT — the performance cost of abundance the paper warns about.
+  double relative_message_cost = 0.0;
+};
+
+[[nodiscard]] Prop3Result analyze_proposition3(std::size_t kappa,
+                                               std::size_t omega);
+
+}  // namespace findep::diversity

@@ -1,0 +1,77 @@
+#include "diversity/resilience.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "diversity/metrics.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+
+namespace {
+std::vector<double> descending_shares(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    FINDEP_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  FINDEP_REQUIRE_MSG(total > 0.0, "resilience needs positive total power");
+  std::vector<double> shares;
+  shares.reserve(weights.size());
+  for (const double w : weights) {
+    if (w > 0.0) shares.push_back(w / total);
+  }
+  std::sort(shares.begin(), shares.end(), std::greater<>());
+  return shares;
+}
+}  // namespace
+
+double worst_case_compromise(std::span<const double> weights, std::size_t j) {
+  const std::vector<double> shares = descending_shares(weights);
+  const std::size_t take = std::min(j, shares.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < take; ++i) sum += shares[i];
+  return sum;
+}
+
+double worst_case_compromise(const ConfigDistribution& dist, std::size_t j) {
+  return worst_case_compromise(dist.shares(), j);
+}
+
+std::size_t min_faults_to_exceed(std::span<const double> weights,
+                                 double threshold) {
+  FINDEP_REQUIRE(threshold >= 0.0);
+  const std::vector<double> shares = descending_shares(weights);
+  double sum = 0.0;
+  // The epsilon guards against accumulated rounding making an exactly-at-
+  // threshold prefix (e.g. 10 shares of 1/30 vs 1/3) appear to exceed it.
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    sum += shares[i];
+    if (sum > threshold + kEps) return i + 1;
+  }
+  return shares.size() + 1;  // unreachable threshold (≥ total power)
+}
+
+std::size_t min_faults_to_exceed(const ConfigDistribution& dist,
+                                 double threshold) {
+  return min_faults_to_exceed(dist.shares(), threshold);
+}
+
+double safety_margin(const ConfigDistribution& dist, std::size_t j,
+                     double threshold) {
+  return threshold - worst_case_compromise(dist, j);
+}
+
+ResilienceSummary summarize_resilience(const ConfigDistribution& dist,
+                                       double threshold) {
+  ResilienceSummary out;
+  out.threshold = threshold;
+  out.support = dist.support_size();
+  out.min_faults = min_faults_to_exceed(dist, threshold);
+  out.single_fault_power = berger_parker(dist);
+  out.single_point_of_failure = out.single_fault_power > threshold;
+  return out;
+}
+
+}  // namespace findep::diversity

@@ -1,0 +1,59 @@
+// Resilience analysis: connects the configuration distribution to the
+// paper's safety condition  ∀t:  f ≥ Σ_{i≤k_t} f_t^i  (§II-C).
+//
+// At the distribution level a single vulnerability compromises (at least)
+// one whole configuration's voting power, so worst-case analysis reduces
+// to order statistics of the share vector: j simultaneous faults
+// compromise at most the sum of the j largest shares.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "diversity/distribution.h"
+
+namespace findep::diversity {
+
+/// Common protocol fault thresholds, as fractions of total voting power.
+inline constexpr double kBftThreshold = 1.0 / 3.0;       // n > 3f quorum BFT
+inline constexpr double kNakamotoThreshold = 1.0 / 2.0;  // honest majority
+
+/// Sum of the j largest shares: worst-case fraction of voting power an
+/// attacker holding j independent faults (each hitting one distinct
+/// configuration) can control. j larger than the support is clamped.
+[[nodiscard]] double worst_case_compromise(std::span<const double> weights,
+                                           std::size_t j);
+[[nodiscard]] double worst_case_compromise(const ConfigDistribution& dist,
+                                           std::size_t j);
+
+/// Smallest number of distinct configuration faults whose combined share
+/// strictly exceeds `threshold`. Returns support_size + 1 when even
+/// compromising every configuration does not exceed it (threshold ≥ 1).
+/// This is the paper's notion of *fault independence as resilience*: a
+/// κ-optimal system requires ⌊κ·threshold⌋ + 1 distinct faults.
+[[nodiscard]] std::size_t min_faults_to_exceed(
+    std::span<const double> weights, double threshold);
+[[nodiscard]] std::size_t min_faults_to_exceed(const ConfigDistribution& dist,
+                                               double threshold);
+
+/// The remaining safety margin after j worst-case faults:
+/// threshold − worst_case_compromise(j). Negative means safety is lost.
+[[nodiscard]] double safety_margin(const ConfigDistribution& dist,
+                                   std::size_t j, double threshold);
+
+/// Resilience summary for one distribution at one threshold.
+struct ResilienceSummary {
+  double threshold = 0.0;
+  std::size_t support = 0;
+  /// Distinct faults needed to exceed the threshold (worst case).
+  std::size_t min_faults = 0;
+  /// Power compromised by a single worst-case fault (Berger–Parker share).
+  double single_fault_power = 0.0;
+  /// True when one fault alone already breaks the threshold.
+  bool single_point_of_failure = false;
+};
+
+[[nodiscard]] ResilienceSummary summarize_resilience(
+    const ConfigDistribution& dist, double threshold);
+
+}  // namespace findep::diversity

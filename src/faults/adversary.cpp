@@ -1,0 +1,82 @@
+#include "faults/adversary.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/assert.h"
+
+namespace findep::faults {
+
+CompromiseResult OperatorAdversary::attack(
+    const OperatedPopulation& pop) const {
+  FINDEP_REQUIRE(pop.replicas.size() == pop.operator_of.size());
+  FINDEP_REQUIRE(!pop.replicas.empty());
+
+  double total = 0.0;
+  std::unordered_map<OperatorId, double> power_of_operator;
+  for (std::size_t i = 0; i < pop.replicas.size(); ++i) {
+    total += pop.replicas[i].power;
+    power_of_operator[pop.operator_of[i]] += pop.replicas[i].power;
+  }
+  FINDEP_REQUIRE(total > 0.0);
+
+  std::vector<std::pair<OperatorId, double>> ranked(
+      power_of_operator.begin(), power_of_operator.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+
+  std::unordered_set<OperatorId> corrupted;
+  const std::size_t take = std::min(budget, ranked.size());
+  for (std::size_t i = 0; i < take; ++i) corrupted.insert(ranked[i].first);
+
+  CompromiseResult out;
+  out.faults_used = take;
+  for (std::size_t i = 0; i < pop.replicas.size(); ++i) {
+    if (corrupted.contains(pop.operator_of[i])) {
+      out.compromised.push_back(i);
+      out.compromised_power += pop.replicas[i].power;
+    }
+  }
+  out.compromised_fraction = out.compromised_power / total;
+  return out;
+}
+
+CompromiseResult HybridAdversary::attack(
+    const FaultInjector& injector, const OperatedPopulation& pop) const {
+  FINDEP_REQUIRE(pop.replicas.size() == pop.operator_of.size());
+  CompromiseResult best;
+  for (std::size_t vuln_budget = 0; vuln_budget <= budget; ++vuln_budget) {
+    const std::size_t op_budget = budget - vuln_budget;
+    const CompromiseResult vuln_part =
+        injector.worst_case_components(vuln_budget);
+    const CompromiseResult op_part =
+        OperatorAdversary{op_budget}.attack(pop);
+
+    // Union the two compromised sets (a replica may be hit twice).
+    std::vector<bool> hit(pop.replicas.size(), false);
+    for (const std::size_t r : vuln_part.compromised) hit[r] = true;
+    for (const std::size_t r : op_part.compromised) hit[r] = true;
+
+    CompromiseResult combined;
+    combined.faults_used = vuln_part.faults_used + op_part.faults_used;
+    double total = 0.0;
+    for (std::size_t r = 0; r < pop.replicas.size(); ++r) {
+      total += pop.replicas[r].power;
+      if (hit[r]) {
+        combined.compromised.push_back(r);
+        combined.compromised_power += pop.replicas[r].power;
+      }
+    }
+    combined.compromised_fraction = combined.compromised_power / total;
+    if (combined.compromised_fraction > best.compromised_fraction) {
+      best = std::move(combined);
+    }
+  }
+  return best;
+}
+
+}  // namespace findep::faults

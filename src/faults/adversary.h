@@ -1,0 +1,61 @@
+// Adversary models (§II-B, §IV-B discussion of Proposition 3).
+//
+// Two root causes of Byzantine replicas, with different relationships to
+// configuration abundance ω:
+//  - *Vulnerability adversary*: compromises components; gets every replica
+//    sharing the component. More abundance does NOT help against it.
+//  - *Malicious-operator adversary*: operators turn coin — each defection
+//    yields exactly the operator's own replicas, independent of who else
+//    runs the same configuration. Higher abundance (more independent
+//    operators per configuration) dilutes each defection — this is what
+//    Proposition 3 claims.
+// The hybrid adversary composes both under one budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/injector.h"
+
+namespace findep::faults {
+
+/// Identifies which operator (administrative domain) runs each replica.
+/// Replicas with the same operator defect together (mining-pool model).
+using OperatorId = std::uint32_t;
+
+/// A population annotated with operators.
+struct OperatedPopulation {
+  std::vector<diversity::ReplicaRecord> replicas;
+  /// operator_of[i] = operator of replicas[i]. Same size as `replicas`.
+  std::vector<OperatorId> operator_of;
+};
+
+/// Budgeted vulnerability adversary: exploits up to `budget` component
+/// faults, chosen worst-case (greedy max-coverage).
+struct VulnerabilityAdversary {
+  std::size_t budget = 1;
+
+  [[nodiscard]] CompromiseResult attack(const FaultInjector& injector) const {
+    return injector.worst_case_components(budget);
+  }
+};
+
+/// Budgeted malicious-operator adversary: corrupts up to `budget`
+/// operators, chosen worst-case (richest operators first).
+struct OperatorAdversary {
+  std::size_t budget = 1;
+
+  [[nodiscard]] CompromiseResult attack(const OperatedPopulation& pop) const;
+};
+
+/// Hybrid: splits the budget between component faults and operator
+/// corruption, taking the best split (exhaustive over the budget, which is
+/// small in all experiments).
+struct HybridAdversary {
+  std::size_t budget = 2;
+
+  [[nodiscard]] CompromiseResult attack(const FaultInjector& injector,
+                                        const OperatedPopulation& pop) const;
+};
+
+}  // namespace findep::faults

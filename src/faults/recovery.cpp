@@ -1,0 +1,122 @@
+#include "faults/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "diversity/resilience.h"
+#include "support/assert.h"
+
+namespace findep::faults {
+
+namespace {
+
+/// First recovery boundary of a replica at or after time t.
+double next_recovery(double t, double offset, double period) {
+  if (t <= offset) return offset;
+  const double k = std::ceil((t - offset) / period);
+  return offset + k * period;
+}
+
+}  // namespace
+
+ExposureTimeline compute_exposure_with_recovery(
+    const std::vector<diversity::ReplicaRecord>& population,
+    const VulnerabilityCatalog& catalog, double horizon_days,
+    std::size_t samples, const PatchLagModel& patching,
+    const RecoverySchedule& recovery) {
+  FINDEP_REQUIRE(!population.empty());
+  FINDEP_REQUIRE(horizon_days > 0.0);
+  FINDEP_REQUIRE(samples >= 2);
+  FINDEP_REQUIRE(recovery.period_days > 0.0);
+
+  double total_power = 0.0;
+  for (const auto& rec : population) total_power += rec.power;
+  FINDEP_REQUIRE(total_power > 0.0);
+
+  const auto offset_of = [&](std::size_t r) {
+    if (!recovery.staggered) return 0.0;
+    return recovery.period_days * static_cast<double>(r) /
+           static_cast<double>(population.size());
+  };
+
+  // Per (vulnerability, exposed replica): window [discovered_at, until).
+  // Without recovery, until = patch release + deploy lag. Recovery
+  // re-provisions with all *released* patches, so the first boundary at
+  // or after the patch release also ends the window. Boundaries before
+  // the patch evict the attacker but re-exploitation follows immediately
+  // — we conservatively grant no pre-patch benefit.
+  support::Rng rng(patching.seed);
+  struct Window {
+    std::size_t vulnerability;
+    std::size_t replica;
+    double from;
+    double until;
+  };
+  std::vector<Window> windows;
+  for (std::size_t v_idx = 0; v_idx < catalog.size(); ++v_idx) {
+    const Vulnerability& v = catalog.get(VulnId{
+        static_cast<std::uint32_t>(v_idx)});
+    for (std::size_t r = 0; r < population.size(); ++r) {
+      const auto comps = population[r].configuration.components();
+      if (std::find(comps.begin(), comps.end(), v.component) ==
+          comps.end()) {
+        continue;
+      }
+      const double lag_end =
+          v.patched_at +
+          rng.exponential(1.0 / patching.mean_deploy_lag_days);
+      const double recovery_end =
+          next_recovery(v.patched_at, offset_of(r), recovery.period_days);
+      windows.push_back(Window{v_idx, r, v.discovered_at,
+                               std::min(lag_end, recovery_end)});
+    }
+  }
+
+  ExposureTimeline timeline;
+  timeline.points.reserve(samples);
+  std::size_t above_bft = 0;
+  std::size_t above_majority = 0;
+  std::vector<bool> hit(population.size());
+  std::vector<bool> vuln_open(catalog.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t = horizon_days * static_cast<double>(s) /
+                     static_cast<double>(samples - 1);
+    ExposurePoint point;
+    point.t = t;
+    std::fill(hit.begin(), hit.end(), false);
+    std::fill(vuln_open.begin(), vuln_open.end(), false);
+    for (const Window& w : windows) {
+      if (t >= w.from && t < w.until) {
+        hit[w.replica] = true;
+        vuln_open[w.vulnerability] = true;
+      }
+    }
+    for (const bool open : vuln_open) {
+      if (open) ++point.open_vulnerabilities;  // k_t
+    }
+    double exposed = 0.0;
+    for (std::size_t r = 0; r < population.size(); ++r) {
+      if (hit[r]) exposed += population[r].power;
+    }
+    point.exposed_fraction = exposed / total_power;
+    if (point.exposed_fraction > timeline.peak_exposed_fraction) {
+      timeline.peak_exposed_fraction = point.exposed_fraction;
+      timeline.peak_time = t;
+    }
+    timeline.peak_open_vulnerabilities = std::max(
+        timeline.peak_open_vulnerabilities, point.open_vulnerabilities);
+    if (point.exposed_fraction > diversity::kBftThreshold) ++above_bft;
+    if (point.exposed_fraction > diversity::kNakamotoThreshold) {
+      ++above_majority;
+    }
+    timeline.points.push_back(point);
+  }
+  timeline.time_above_bft_threshold =
+      static_cast<double>(above_bft) / static_cast<double>(samples);
+  timeline.time_above_majority_threshold =
+      static_cast<double>(above_majority) / static_cast<double>(samples);
+  return timeline;
+}
+
+}  // namespace findep::faults

@@ -1,0 +1,41 @@
+// Proactive recovery / software rejuvenation.
+//
+// §III-A points to proactive security and self-stabilization as ways to
+// reduce the risk of long-lived compromise when N-version diversity of
+// the consensus module is too expensive. We model the classic mechanism
+// (PBFT-PR, Sousa et al., SPARE): every replica is periodically
+// re-provisioned from a clean image with all released patches applied —
+// which ends any standing compromise and closes its exposure window at
+// the next recovery boundary. The experiment question: how short must the
+// recovery period be to keep Σ f_t^i below the tolerated bound, compared
+// against patch-lag-only operation?
+#pragma once
+
+#include "faults/windows.h"
+
+namespace findep::faults {
+
+/// Proactive-recovery schedule: replica r is re-provisioned at times
+/// offset_r + k·period (offsets staggered uniformly so the system never
+/// loses a large weight fraction to simultaneous reboots).
+struct RecoverySchedule {
+  /// Days between recoveries of one replica. Infinity = no recovery.
+  double period_days = 30.0;
+  /// Staggering: replica r's offset is (r / n) · period.
+  bool staggered = true;
+};
+
+/// Exposure timeline when proactive recovery is active: per (replica,
+/// vulnerability), exposure starts at the vulnerability's discovery and
+/// ends at the *earliest* of (patch release + deploy lag) and (the first
+/// recovery boundary after exposure starts — recovery re-provisions with
+/// current patches, and a recovered replica is only re-exposed if the
+/// vulnerability is still unpatched at recovery time, until its next
+/// boundary or the patch).
+[[nodiscard]] ExposureTimeline compute_exposure_with_recovery(
+    const std::vector<diversity::ReplicaRecord>& population,
+    const VulnerabilityCatalog& catalog, double horizon_days,
+    std::size_t samples, const PatchLagModel& patching,
+    const RecoverySchedule& recovery);
+
+}  // namespace findep::faults

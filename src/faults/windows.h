@@ -1,0 +1,54 @@
+// Vulnerability-window analysis (§I, Remark 1).
+//
+// "Even though vulnerabilities can be patched, there exists a
+// vulnerability window due to the latency in patching" — attacks happen
+// inside these windows. This module turns a vulnerability catalog plus a
+// replica population into a timeline of exposed voting power, the k_t
+// process (number of simultaneously open vulnerabilities) and the peak of
+// Σ f_t^i, which is what the safety condition bounds.
+#pragma once
+
+#include <vector>
+
+#include "faults/injector.h"
+#include "faults/vulnerability.h"
+
+namespace findep::faults {
+
+/// Per-replica patching behaviour: the replica applies a patch
+/// `deploy_lag` days after the patch is released. Sampled per (replica,
+/// vulnerability) from an exponential with the given mean.
+struct PatchLagModel {
+  double mean_deploy_lag_days = 7.0;
+  std::uint64_t seed = 7;
+};
+
+/// One sample point of the exposure timeline.
+struct ExposurePoint {
+  double t = 0.0;
+  /// Number of vulnerabilities whose windows are open (k_t).
+  std::size_t open_vulnerabilities = 0;
+  /// Worst-case fraction of voting power an attacker exploiting all open
+  /// vulnerabilities controls at t (Σ f_t^i, deduplicated per replica).
+  double exposed_fraction = 0.0;
+};
+
+struct ExposureTimeline {
+  std::vector<ExposurePoint> points;
+  double peak_exposed_fraction = 0.0;
+  double peak_time = 0.0;
+  std::size_t peak_open_vulnerabilities = 0;
+  /// Fraction of sampled time where exposure exceeded the threshold.
+  double time_above_bft_threshold = 0.0;
+  double time_above_majority_threshold = 0.0;
+};
+
+/// Computes the exposure timeline on a uniform grid of `samples` points
+/// over [0, horizon_days]. Per-replica deploy lags extend each
+/// vulnerability's per-replica window beyond `patched_at`.
+[[nodiscard]] ExposureTimeline compute_exposure(
+    const std::vector<diversity::ReplicaRecord>& population,
+    const VulnerabilityCatalog& catalog, double horizon_days,
+    std::size_t samples, const PatchLagModel& patching);
+
+}  // namespace findep::faults

@@ -1,0 +1,36 @@
+// Majority / private-chain attacks on Nakamoto consensus.
+//
+// The paper's §I motivation: a correlated fault can hand an attacker a
+// *large* fraction of honest mining power at once (e.g. a pool-software
+// vulnerability), pushing it past the tolerated bound. This module
+// quantifies what that hashrate buys: the classic double-spend race, both
+// in closed form (Nakamoto's Poisson/gambler's-ruin analysis) and as a
+// Monte-Carlo block race for cross-validation.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.h"
+
+namespace findep::nakamoto {
+
+/// Nakamoto's closed-form success probability for an attacker with
+/// hashrate fraction `q` catching up from `z` confirmations behind.
+/// Returns 1 when q >= 0.5.
+[[nodiscard]] double attack_success_closed_form(double q, unsigned z);
+
+/// Monte-Carlo estimate of the same race: honest and attacker chains grow
+/// as Poisson processes; the attacker pre-mines from z behind and wins if
+/// it ever gets ahead within `max_blocks` total events (the truncation
+/// matches the closed form's convergence for q < 0.5).
+[[nodiscard]] double attack_success_monte_carlo(double q, unsigned z,
+                                                std::size_t trials,
+                                                support::Rng& rng,
+                                                std::size_t max_blocks = 4096);
+
+/// Confirmations needed to push the attacker's success probability below
+/// `target` (caps at `max_z`). Mirrors the table in Nakamoto's paper.
+[[nodiscard]] unsigned confirmations_for_risk(double q, double target,
+                                              unsigned max_z = 340);
+
+}  // namespace findep::nakamoto

@@ -1,0 +1,116 @@
+#include "nakamoto/block.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::nakamoto {
+
+crypto::Digest Block::compute_hash(const crypto::Digest& parent,
+                                   MinerId miner, std::uint64_t nonce) {
+  return crypto::Sha256{}
+      .update("findep/block/v1")
+      .update(parent.bytes)
+      .update_u64(miner)
+      .update_u64(nonce)
+      .finish();
+}
+
+const Block& genesis() {
+  static const Block g = [] {
+    Block b;
+    b.hash = crypto::Sha256{}.update("findep/genesis/v1").finish();
+    b.parent = crypto::Digest{};
+    b.height = 0;
+    b.miner = UINT32_MAX;
+    b.mined_at = 0.0;
+    return b;
+  }();
+  return g;
+}
+
+BlockTree::BlockTree() {
+  blocks_.emplace(genesis().hash, genesis());
+  tip_ = genesis().hash;
+}
+
+bool BlockTree::add(const Block& block) {
+  if (blocks_.contains(block.hash)) return false;
+  const auto parent_it = blocks_.find(block.parent);
+  if (parent_it == blocks_.end()) return false;
+  FINDEP_REQUIRE_MSG(block.height == parent_it->second.height + 1,
+                     "block height must be parent height + 1");
+  blocks_.emplace(block.hash, block);
+  // Longest-chain rule; strictly-greater keeps the first-seen tip on ties.
+  if (block.height > blocks_.at(tip_).height) {
+    tip_ = block.hash;
+  }
+  return true;
+}
+
+bool BlockTree::contains(const crypto::Digest& hash) const {
+  return blocks_.contains(hash);
+}
+
+const Block& BlockTree::get(const crypto::Digest& hash) const {
+  const auto it = blocks_.find(hash);
+  FINDEP_REQUIRE_MSG(it != blocks_.end(), "unknown block");
+  return it->second;
+}
+
+const Block& BlockTree::tip() const { return blocks_.at(tip_); }
+
+std::vector<crypto::Digest> BlockTree::main_chain() const {
+  std::vector<crypto::Digest> chain;
+  chain.reserve(tip_height());
+  crypto::Digest cursor = tip_;
+  while (cursor != genesis().hash) {
+    chain.push_back(cursor);
+    cursor = blocks_.at(cursor).parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool BlockTree::on_main_chain(const crypto::Digest& hash) const {
+  const auto it = blocks_.find(hash);
+  if (it == blocks_.end()) return false;
+  // Walk down from the tip to the block's height.
+  crypto::Digest cursor = tip_;
+  while (blocks_.at(cursor).height > it->second.height) {
+    cursor = blocks_.at(cursor).parent;
+  }
+  return cursor == hash;
+}
+
+std::unordered_map<MinerId, std::size_t> BlockTree::miner_shares() const {
+  std::unordered_map<MinerId, std::size_t> shares;
+  for (const crypto::Digest& hash : main_chain()) {
+    ++shares[blocks_.at(hash).miner];
+  }
+  return shares;
+}
+
+Height BlockTree::reorg_depth(const crypto::Digest& candidate_tip) const {
+  const auto it = blocks_.find(candidate_tip);
+  FINDEP_REQUIRE(it != blocks_.end());
+  // Find the fork point between the main chain and the candidate branch.
+  crypto::Digest a = tip_;
+  crypto::Digest b = candidate_tip;
+  while (blocks_.at(a).height > blocks_.at(b).height) {
+    a = blocks_.at(a).parent;
+  }
+  while (blocks_.at(b).height > blocks_.at(a).height) {
+    b = blocks_.at(b).parent;
+  }
+  Height depth = 0;
+  while (a != b) {
+    a = blocks_.at(a).parent;
+    b = blocks_.at(b).parent;
+    ++depth;
+  }
+  // Depth counted from the current tip down to the fork point.
+  return depth == 0 ? 0 : blocks_.at(tip_).height - blocks_.at(a).height;
+}
+
+}  // namespace findep::nakamoto

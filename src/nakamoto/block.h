@@ -1,0 +1,81 @@
+// Blocks and the block tree (fork-aware chain state).
+//
+// Each node keeps a `BlockTree`: all blocks it has seen, the longest-chain
+// tip (first-seen tie-break, as Bitcoin Core implements), and fork
+// accounting. Stale-block rate as a function of propagation delay is one
+// of the substrate benchmarks backing the paper's performance-vs-ω
+// trade-off discussion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "net/network.h"
+
+namespace findep::nakamoto {
+
+using MinerId = net::NodeId;
+using Height = std::uint64_t;
+
+struct Block {
+  crypto::Digest hash;
+  crypto::Digest parent;
+  Height height = 0;  // genesis = 0
+  MinerId miner = 0;
+  double mined_at = 0.0;
+
+  [[nodiscard]] static crypto::Digest compute_hash(
+      const crypto::Digest& parent, MinerId miner, std::uint64_t nonce);
+};
+
+/// The unique genesis block shared by every tree.
+[[nodiscard]] const Block& genesis();
+
+class BlockTree {
+ public:
+  BlockTree();
+
+  /// Adds a block whose parent is already known. Returns false (without
+  /// inserting) when the parent is unknown or the hash is a duplicate.
+  bool add(const Block& block);
+
+  [[nodiscard]] bool contains(const crypto::Digest& hash) const;
+  [[nodiscard]] const Block& get(const crypto::Digest& hash) const;
+
+  /// Longest chain tip; ties broken by first arrival.
+  [[nodiscard]] const Block& tip() const;
+  [[nodiscard]] Height tip_height() const { return tip().height; }
+
+  /// Total non-genesis blocks known.
+  [[nodiscard]] std::size_t block_count() const {
+    return blocks_.size() - 1;
+  }
+
+  /// Blocks not on the main chain (stale/orphaned work).
+  [[nodiscard]] std::size_t stale_count() const {
+    return block_count() - tip_height();
+  }
+
+  /// Main chain from genesis (exclusive) to the tip (inclusive).
+  [[nodiscard]] std::vector<crypto::Digest> main_chain() const;
+
+  /// True when `hash` lies on the main chain.
+  [[nodiscard]] bool on_main_chain(const crypto::Digest& hash) const;
+
+  /// Number of main-chain blocks mined by each miner (index = MinerId).
+  [[nodiscard]] std::unordered_map<MinerId, std::size_t> miner_shares()
+      const;
+
+  /// Depth of the reorg that adopting `candidate_tip` over the current
+  /// tip would cause (0 when it extends the main chain).
+  [[nodiscard]] Height reorg_depth(const crypto::Digest& candidate_tip) const;
+
+ private:
+  std::unordered_map<crypto::Digest, Block> blocks_;
+  crypto::Digest tip_;
+};
+
+}  // namespace findep::nakamoto

@@ -1,0 +1,133 @@
+#include "nakamoto/miner.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::nakamoto {
+
+NakamotoSim::NakamotoSim(std::vector<double> hashrates,
+                         NakamotoOptions options)
+    : hashrates_(std::move(hashrates)),
+      options_(options),
+      rng_(options.seed) {
+  FINDEP_REQUIRE(!hashrates_.empty());
+  FINDEP_REQUIRE(options_.mean_block_interval > 0.0);
+  for (const double h : hashrates_) {
+    FINDEP_REQUIRE(h >= 0.0);
+    total_hashrate_ += h;
+  }
+  FINDEP_REQUIRE_MSG(total_hashrate_ > 0.0, "no mining power");
+
+  net::NetworkOptions net_options = options_.network;
+  net_options.seed = support::mix64(options_.seed ^ 0x6d696e65);
+  network_ = std::make_unique<net::SimNetwork>(sim_, net_options);
+
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(hashrates_.size());
+  views_.resize(hashrates_.size());
+  orphans_.resize(hashrates_.size());
+  for (MinerId m = 0; m < hashrates_.size(); ++m) nodes.push_back(m);
+
+  gossip_ = std::make_unique<net::GossipOverlay>(
+      *network_, nodes, options_.gossip_degree,
+      support::mix64(options_.seed ^ 0x676f7353),
+      [this](net::NodeId node, const net::GossipItem& item) {
+        const auto* block = std::any_cast<Block>(&item.payload);
+        FINDEP_ASSERT(block != nullptr);
+        on_block(node, *block);
+      });
+
+  for (MinerId m = 0; m < hashrates_.size(); ++m) {
+    schedule_next_find(m);
+  }
+}
+
+void NakamotoSim::schedule_next_find(MinerId miner) {
+  if (hashrates_[miner] <= 0.0) return;
+  const double rate =
+      hashrates_[miner] / total_hashrate_ / options_.mean_block_interval;
+  const double delay = rng_.exponential(rate);
+  sim_.schedule_after(delay, [this, miner] { on_found(miner); });
+}
+
+void NakamotoSim::on_found(MinerId miner) {
+  // Extend the miner's current best tip (decided at find time — the
+  // exponential race is memoryless, so this is exactly the honest
+  // strategy).
+  const Block& parent = views_[miner].tip();
+  Block block;
+  block.parent = parent.hash;
+  block.height = parent.height + 1;
+  block.miner = miner;
+  block.mined_at = sim_.now();
+  block.hash = Block::compute_hash(parent.hash, miner, nonce_++);
+
+  net::GossipItem item;
+  item.id = block.hash;
+  item.payload = block;
+  item.bytes = 1'000'000;  // ~1 MB block
+  gossip_->publish(miner, std::move(item));
+
+  schedule_next_find(miner);
+}
+
+void NakamotoSim::on_block(MinerId miner, const Block& block) {
+  BlockTree& tree = views_[miner];
+  if (!tree.add(block)) {
+    if (!tree.contains(block.hash)) {
+      orphans_[miner].push_back(block);  // parent not yet seen
+    }
+    return;
+  }
+  // Drain any orphans now connectable (repeat until fixpoint).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    auto& pool = orphans_[miner];
+    for (std::size_t i = 0; i < pool.size();) {
+      if (tree.add(pool[i])) {
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+      } else if (tree.contains(pool[i].hash)) {
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void NakamotoSim::run_for(double duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+const BlockTree& NakamotoSim::view(MinerId miner) const {
+  FINDEP_REQUIRE(miner < views_.size());
+  return views_[miner];
+}
+
+ChainStats NakamotoSim::stats() const {
+  const BlockTree& tree = views_[0];
+  ChainStats out;
+  out.main_chain_height = tree.tip_height();
+  out.total_blocks = tree.block_count();
+  out.stale_blocks = tree.stale_count();
+  out.stale_rate =
+      out.total_blocks == 0
+          ? 0.0
+          : static_cast<double>(out.stale_blocks) /
+                static_cast<double>(out.total_blocks);
+  out.miner_main_share.assign(hashrates_.size(), 0.0);
+  const auto shares = tree.miner_shares();
+  for (const auto& [miner, blocks] : shares) {
+    if (miner < out.miner_main_share.size() && out.main_chain_height > 0) {
+      out.miner_main_share[miner] =
+          static_cast<double>(blocks) /
+          static_cast<double>(out.main_chain_height);
+    }
+  }
+  return out;
+}
+
+}  // namespace findep::nakamoto

@@ -1,0 +1,82 @@
+#include "nakamoto/pools.h"
+
+#include <algorithm>
+
+#include "diversity/datasets.h"
+#include "support/assert.h"
+
+namespace findep::nakamoto {
+
+void PoolSet::add(MiningPool pool) {
+  FINDEP_REQUIRE(pool.share_percent >= 0.0);
+  pools_.push_back(std::move(pool));
+}
+
+const MiningPool& PoolSet::get(std::size_t i) const {
+  FINDEP_REQUIRE(i < pools_.size());
+  return pools_[i];
+}
+
+double PoolSet::total_share_percent() const noexcept {
+  double total = 0.0;
+  for (const auto& p : pools_) total += p.share_percent;
+  return total;
+}
+
+std::vector<diversity::ReplicaRecord> PoolSet::as_population() const {
+  std::vector<diversity::ReplicaRecord> out;
+  out.reserve(pools_.size());
+  for (const auto& p : pools_) {
+    out.push_back(
+        diversity::ReplicaRecord{p.configuration, p.share_percent, true});
+  }
+  return out;
+}
+
+std::vector<double> PoolSet::hashrates() const {
+  std::vector<double> out;
+  out.reserve(pools_.size());
+  for (const auto& p : pools_) out.push_back(p.share_percent);
+  return out;
+}
+
+double PoolSet::share_exposed_to(config::ComponentId component) const {
+  const double total = total_share_percent();
+  FINDEP_REQUIRE(total > 0.0);
+  double exposed = 0.0;
+  for (const auto& p : pools_) {
+    const auto comps = p.configuration.components();
+    if (std::find(comps.begin(), comps.end(), component) != comps.end()) {
+      exposed += p.share_percent;
+    }
+  }
+  return exposed / total;
+}
+
+PoolSet PoolSet::example1(const config::ComponentCatalog& catalog,
+                          bool distinct_configs, std::uint64_t seed) {
+  const auto shares = diversity::datasets::bitcoin_pool_shares_percent();
+  const auto names = diversity::datasets::bitcoin_pool_names();
+  FINDEP_ASSERT(shares.size() == names.size());
+
+  std::vector<config::ReplicaConfiguration> configs;
+  if (distinct_configs) {
+    config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+    configs = sampler.distinct_configurations(shares.size());
+  } else {
+    config::SamplerOptions options;
+    options.zipf_exponent = 1.5;  // heavy monoculture across pools
+    options.attestable_fraction = 1.0;
+    config::ConfigurationSampler sampler(catalog, options);
+    support::Rng rng(seed);
+    configs = sampler.sample_population(rng, shares.size());
+  }
+
+  PoolSet out;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    out.add(MiningPool{std::string(names[i]), shares[i], configs[i]});
+  }
+  return out;
+}
+
+}  // namespace findep::nakamoto

@@ -1,0 +1,64 @@
+// Mining pools: the delegation layer that concentrates Bitcoin's voting
+// power (§III-A "oligopoly") and couples it to software configurations.
+//
+// A pool is an operator aggregating member hashrate behind one software
+// stack (pool server + full node + wallet). Example 1's dataset becomes a
+// `PoolSet`; compromising a component compromises every pool running it,
+// and the resulting hashrate feeds the attack math in attack.h — the full
+// pipeline behind the paper's "single fault → large hashrate" concern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/sampler.h"
+#include "diversity/analyzer.h"
+#include "faults/injector.h"
+
+namespace findep::nakamoto {
+
+struct MiningPool {
+  std::string name;
+  /// Hashrate share, in percent of the network (as in Example 1).
+  double share_percent = 0.0;
+  config::ReplicaConfiguration configuration;
+};
+
+class PoolSet {
+ public:
+  void add(MiningPool pool);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pools_.size(); }
+  [[nodiscard]] const MiningPool& get(std::size_t i) const;
+  [[nodiscard]] const std::vector<MiningPool>& pools() const noexcept {
+    return pools_;
+  }
+
+  /// Total share in percent.
+  [[nodiscard]] double total_share_percent() const noexcept;
+
+  /// As a replica population (power = share) for the diversity/faults
+  /// pipeline.
+  [[nodiscard]] std::vector<diversity::ReplicaRecord> as_population() const;
+
+  /// Hashrate vector (index = pool) for NakamotoSim.
+  [[nodiscard]] std::vector<double> hashrates() const;
+
+  /// Combined share (fraction of total, in [0,1]) of pools whose
+  /// configuration contains `component` — the hashrate a single component
+  /// fault hands the attacker.
+  [[nodiscard]] double share_exposed_to(config::ComponentId component) const;
+
+  /// The Example-1 snapshot with configurations assigned from `catalog`:
+  /// `distinct_configs = true` gives every pool a unique configuration
+  /// (the paper's best case); false assigns configurations Zipf-skewed
+  /// with `seed`, modelling realistic software monoculture across pools.
+  [[nodiscard]] static PoolSet example1(
+      const config::ComponentCatalog& catalog, bool distinct_configs,
+      std::uint64_t seed = 17);
+
+ private:
+  std::vector<MiningPool> pools_;
+};
+
+}  // namespace findep::nakamoto

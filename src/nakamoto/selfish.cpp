@@ -1,0 +1,83 @@
+#include "nakamoto/selfish.h"
+
+#include "support/assert.h"
+
+namespace findep::nakamoto {
+
+double selfish_mining_threshold(double gamma) {
+  FINDEP_REQUIRE(gamma >= 0.0 && gamma <= 1.0);
+  return (1.0 - gamma) / (3.0 - 2.0 * gamma);
+}
+
+SelfishMiningResult simulate_selfish_mining(double alpha, double gamma,
+                                            std::size_t rounds,
+                                            support::Rng& rng) {
+  FINDEP_REQUIRE(alpha >= 0.0 && alpha < 0.5);
+  FINDEP_REQUIRE(gamma >= 0.0 && gamma <= 1.0);
+  FINDEP_REQUIRE(rounds > 0);
+
+  SelfishMiningResult out;
+  out.attacker_hashrate = alpha;
+  out.gamma = gamma;
+
+  // Eyal–Sirer state machine. `lead` is the attacker's private lead;
+  // `tied_race` marks the 1-1 fork race after the attacker published its
+  // single withheld block in response to an honest find.
+  std::uint64_t lead = 0;
+  bool tied_race = false;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool attacker_finds = rng.chance(alpha);
+    if (tied_race) {
+      // Branches of equal length are public; the next block decides.
+      if (attacker_finds) {
+        // Attacker extends its own branch: both its blocks win.
+        out.attacker_blocks += 2;
+      } else if (rng.chance(gamma)) {
+        // Honest power mining on the attacker's branch extends it: the
+        // attacker's published block and the honest new block win.
+        out.attacker_blocks += 1;
+        out.honest_blocks += 1;
+      } else {
+        // Honest branch wins: the attacker's withheld block is orphaned.
+        out.honest_blocks += 2;
+      }
+      tied_race = false;
+      lead = 0;
+      continue;
+    }
+
+    if (attacker_finds) {
+      ++lead;  // withhold
+      continue;
+    }
+
+    // An honest block is found and published.
+    switch (lead) {
+      case 0:
+        out.honest_blocks += 1;  // nothing withheld; honest chain grows
+        break;
+      case 1:
+        tied_race = true;  // attacker publishes its one block: 1-1 race
+        break;
+      case 2:
+        // Attacker publishes both and overrides the honest block.
+        out.attacker_blocks += 2;
+        lead = 0;
+        break;
+      default:
+        // Far ahead: attacker reveals one block, keeping a safe lead; the
+        // honest block is doomed once the rest is revealed — account the
+        // attacker block now, the honest one never lands on-chain.
+        out.attacker_blocks += 1;
+        --lead;
+        break;
+    }
+  }
+  // Unresolved private blocks at the horizon are published and win (the
+  // attacker only carries a lead while strictly ahead).
+  out.attacker_blocks += lead;
+  return out;
+}
+
+}  // namespace findep::nakamoto

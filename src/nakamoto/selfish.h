@@ -1,0 +1,45 @@
+// Selfish mining (Eyal–Sirer, FC'14) — the §I-cited baseline showing that
+// "majority is not enough": a pool with hashrate α > (1−γ)/(3−2γ) earns a
+// *super-proportional* revenue share by withholding blocks. In this
+// repository it plays two roles: (a) a baseline attacker strategy for the
+// Nakamoto substrate, and (b) the motivation for why correlated faults
+// matter even below 50% — a component fault that aggregates hashrate into
+// one decision-maker enables exactly this strategy.
+#pragma once
+
+#include <cstddef>
+
+#include "support/rng.h"
+
+namespace findep::nakamoto {
+
+/// Outcome of a selfish-mining simulation.
+struct SelfishMiningResult {
+  double attacker_hashrate = 0.0;   // α
+  double gamma = 0.0;               // honest split won during races
+  std::uint64_t attacker_blocks = 0;  // attacker blocks on the main chain
+  std::uint64_t honest_blocks = 0;    // honest blocks on the main chain
+  /// Attacker's relative revenue (main-chain share).
+  [[nodiscard]] double revenue_share() const noexcept {
+    const double total =
+        static_cast<double>(attacker_blocks + honest_blocks);
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(attacker_blocks) / total;
+  }
+  /// Advantage over honest mining (revenue − α); positive = profitable.
+  [[nodiscard]] double advantage() const noexcept {
+    return revenue_share() - attacker_hashrate;
+  }
+};
+
+/// Simulates the Eyal–Sirer state machine for `rounds` block discoveries.
+/// `alpha` ∈ [0, 0.5): attacker hashrate share. `gamma` ∈ [0, 1]: fraction
+/// of honest power that mines on the attacker's branch during a 1-1 race.
+[[nodiscard]] SelfishMiningResult simulate_selfish_mining(
+    double alpha, double gamma, std::size_t rounds, support::Rng& rng);
+
+/// Eyal–Sirer closed-form profitability threshold: selfish mining beats
+/// honest mining when α > (1−γ)/(3−2γ).
+[[nodiscard]] double selfish_mining_threshold(double gamma);
+
+}  // namespace findep::nakamoto

@@ -1,0 +1,78 @@
+#include "net/gossip.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::net {
+
+GossipOverlay::GossipOverlay(SimNetwork& network, std::vector<NodeId> nodes,
+                             std::size_t degree, std::uint64_t seed,
+                             DeliverFn deliver)
+    : network_(&network), nodes_(std::move(nodes)),
+      deliver_(std::move(deliver)) {
+  FINDEP_REQUIRE(!nodes_.empty());
+  FINDEP_REQUIRE(deliver_ != nullptr);
+
+  support::Rng rng(seed);
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& adj = adjacency_[nodes_[i]];
+    // Guaranteed-connectivity ring edge.
+    if (n > 1) adj.push_back(nodes_[(i + 1) % n]);
+    // Random extra edges.
+    for (std::size_t d = 0; d + 1 < degree && n > 2; ++d) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const NodeId candidate = nodes_[rng.below(n)];
+        if (candidate == nodes_[i]) continue;
+        if (std::find(adj.begin(), adj.end(), candidate) != adj.end()) {
+          continue;
+        }
+        adj.push_back(candidate);
+        break;
+      }
+    }
+  }
+
+  for (const NodeId node : nodes_) {
+    seen_[node];  // materialize
+    network_->attach(node, [this, node](const Message& msg) {
+      const auto* item = std::any_cast<GossipItem>(&msg.payload);
+      FINDEP_ASSERT(item != nullptr);
+      receive(node, *item);
+    });
+  }
+}
+
+void GossipOverlay::publish(NodeId origin, GossipItem item) {
+  receive(origin, item);
+}
+
+void GossipOverlay::receive(NodeId node, const GossipItem& item) {
+  auto& seen = seen_[node];
+  if (!seen.insert(item.id).second) return;  // duplicate
+  deliver_(node, item);
+  forward(node, item);
+}
+
+void GossipOverlay::forward(NodeId node, const GossipItem& item) {
+  const auto it = adjacency_.find(node);
+  if (it == adjacency_.end()) return;
+  for (const NodeId neighbour : it->second) {
+    network_->send(node, neighbour, item, item.bytes);
+  }
+}
+
+const std::vector<NodeId>& GossipOverlay::neighbours(NodeId node) const {
+  const auto it = adjacency_.find(node);
+  FINDEP_REQUIRE(it != adjacency_.end());
+  return it->second;
+}
+
+bool GossipOverlay::has_seen(NodeId node,
+                             const crypto::Digest& id) const {
+  const auto it = seen_.find(node);
+  return it != seen_.end() && it->second.contains(id);
+}
+
+}  // namespace findep::net

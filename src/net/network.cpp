@@ -1,0 +1,104 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace findep::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkOptions options)
+    : sim_(&simulator), options_(options), rng_(options.seed) {
+  FINDEP_REQUIRE(options.min_latency >= 0.0);
+  FINDEP_REQUIRE(options.mean_extra_latency >= 0.0);
+  FINDEP_REQUIRE(options.drop_probability >= 0.0 &&
+                 options.drop_probability <= 1.0);
+}
+
+void SimNetwork::attach(NodeId node, Handler handler) {
+  FINDEP_REQUIRE(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+double SimNetwork::sample_latency(NodeId from, NodeId to) {
+  double latency = options_.min_latency;
+  if (options_.mean_extra_latency > 0.0) {
+    latency += rng_.exponential(1.0 / options_.mean_extra_latency);
+  }
+  if (delay_policy_) {
+    const double extra = delay_policy_(from, to);
+    FINDEP_ASSERT(extra >= 0.0);
+    latency += extra;
+  }
+  return latency;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, std::any payload,
+                      std::uint64_t bytes) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+
+  const auto handler_it = handlers_.find(to);
+  if (handler_it == handlers_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  if (from != to) {
+    const auto ga = partition_group_.find(from);
+    const auto gb = partition_group_.find(to);
+    const std::uint32_t group_a = ga == partition_group_.end() ? 0 : ga->second;
+    const std::uint32_t group_b = gb == partition_group_.end() ? 0 : gb->second;
+    if (group_a != group_b) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (filter_ && !filter_(from, to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (options_.drop_probability > 0.0 &&
+        rng_.chance(options_.drop_probability)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
+
+  const double latency = from == to ? 0.0 : sample_latency(from, to);
+  // Capture by value: the handler table may change between schedule and
+  // delivery, so we look the handler up again at delivery time.
+  Message msg{from, to, bytes, std::move(payload)};
+  sim_->schedule_after(latency, [this, msg = std::move(msg)]() mutable {
+    const auto it = handlers_.find(msg.to);
+    if (it == handlers_.end() || !it->second) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second(msg);
+  });
+}
+
+void SimNetwork::broadcast(NodeId from, const std::any& payload,
+                           std::uint64_t bytes) {
+  // Snapshot destinations first: handlers_ may be mutated by deliveries
+  // scheduled inside send() if the simulator is stepped re-entrantly.
+  std::vector<NodeId> targets;
+  targets.reserve(handlers_.size());
+  for (const auto& [node, handler] : handlers_) {
+    if (node != from) targets.push_back(node);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(targets.begin(), targets.end());
+  for (const NodeId to : targets) {
+    send(from, to, payload, bytes);
+  }
+}
+
+void SimNetwork::set_partition_group(NodeId node, std::uint32_t group) {
+  partition_group_[node] = group;
+}
+
+void SimNetwork::heal_partitions() { partition_group_.clear(); }
+
+}  // namespace findep::net

@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace findep::sim {
+
+EventId Simulator::schedule_at(Time at, Callback fn) {
+  FINDEP_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
+  FINDEP_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, Callback fn) {
+  FINDEP_REQUIRE(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Removing from pending_ is enough: pop_next drops queue entries whose
+  // id is no longer pending, so the cancelled callback never runs.
+  return pending_.erase(id) == 1;
+}
+
+Simulator::Entry Simulator::pop_next() {
+  for (;;) {
+    FINDEP_ASSERT(!queue_.empty());
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (pending_.erase(entry.id) == 1) {
+      return entry;  // still live
+    }
+    // else: cancelled; skip the tombstone.
+  }
+}
+
+void Simulator::step() {
+  FINDEP_REQUIRE(has_pending());
+  Entry entry = pop_next();
+  FINDEP_ASSERT(entry.at >= now_);
+  now_ = entry.at;
+  ++executed_;
+  entry.fn();
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (has_pending() && executed < max_events) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  FINDEP_REQUIRE(deadline >= now_);
+  std::uint64_t executed = 0;
+  while (has_pending()) {
+    Entry entry = pop_next();
+    if (entry.at > deadline) {
+      // Not due yet: re-queue it (seq preserved, so FIFO order among equal
+      // timestamps is unaffected) and mark it pending again.
+      pending_.insert(entry.id);
+      queue_.push(std::move(entry));
+      break;
+    }
+    now_ = entry.at;
+    ++executed_;
+    ++executed;
+    entry.fn();
+  }
+  now_ = deadline;
+  return executed;
+}
+
+}  // namespace findep::sim

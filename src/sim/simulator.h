@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulation engine.
+//
+// All findep protocol substrates (network, BFT, Nakamoto mining,
+// attestation) execute on this engine: events are callbacks scheduled at
+// simulated timestamps, and ties are broken by schedule order so a run is
+// a pure function of (program, seed). Simulated time is in seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace findep::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Identifies a scheduled event so it can be cancelled (e.g. timers).
+using EventId = std::uint64_t;
+
+/// Event-driven simulator with a monotone clock.
+///
+/// Invariants: `now()` never decreases; callbacks scheduled at equal times
+/// run in schedule order (FIFO); a callback may schedule further events at
+/// `now()` or later.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at absolute time `at` (>= now()). Returns an id
+  /// usable with `cancel`.
+  EventId schedule_at(Time at, Callback fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) seconds from now.
+  EventId schedule_after(Time delay, Callback fn);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed. O(1): the entry is tombstoned
+  /// and skipped when popped.
+  bool cancel(EventId id);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool has_pending() const noexcept {
+    return !pending_.empty();
+  }
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_count() const noexcept {
+    return executed_;
+  }
+
+  /// Runs the next pending event. Requires has_pending().
+  void step();
+
+  /// Runs events until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs all events with time <= `deadline`, then advances the clock to
+  /// exactly `deadline` (even if idle). Returns events executed.
+  std::uint64_t run_until(Time deadline);
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the earliest non-cancelled event. Requires has_pending().
+  Entry pop_next();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> pending_;  // ids scheduled but not yet run
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace findep::sim

@@ -1,0 +1,35 @@
+#include "support/assert.h"
+
+#include <sstream>
+
+namespace findep::support {
+
+namespace {
+std::string format_message(const char* kind, const char* expr,
+                           const std::source_location& loc,
+                           const std::string& msg) {
+  std::ostringstream out;
+  out << loc.file_name() << ':' << loc.line() << " [" << loc.function_name()
+      << "] " << kind << " failed: " << expr;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  return out.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const std::source_location& loc,
+                                     const std::string& msg)
+    : std::logic_error(format_message(kind, expr, loc, msg)),
+      kind_(kind),
+      expr_(expr) {}
+
+namespace detail {
+void fail_contract(const char* kind, const char* expr,
+                   const std::source_location& loc, const std::string& msg) {
+  throw ContractViolation(kind, expr, loc, msg);
+}
+}  // namespace detail
+
+}  // namespace findep::support

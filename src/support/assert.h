@@ -1,0 +1,73 @@
+// Contract-checking support for the findep libraries.
+//
+// The C++ Core Guidelines (I.6, I.8) recommend expressing preconditions and
+// postconditions explicitly. We check contracts in every build type and
+// raise `ContractViolation` so that both production code and the test suite
+// observe violations deterministically (aborting inside a discrete-event
+// simulation would lose the event trace that explains the failure).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace findep::support {
+
+/// Thrown when a FINDEP_REQUIRE / FINDEP_ENSURE / FINDEP_ASSERT contract
+/// fails. Carries the failing expression and source location.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr,
+                    const std::source_location& loc, const std::string& msg);
+
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* expression() const noexcept { return expr_; }
+
+ private:
+  const char* kind_;
+  const char* expr_;
+};
+
+namespace detail {
+[[noreturn]] void fail_contract(const char* kind, const char* expr,
+                                const std::source_location& loc,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace findep::support
+
+/// Precondition check: argument/state validation at function entry.
+#define FINDEP_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::findep::support::detail::fail_contract(                           \
+          "precondition", #expr, std::source_location::current(), "");    \
+    }                                                                     \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define FINDEP_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::findep::support::detail::fail_contract(                           \
+          "precondition", #expr, std::source_location::current(), (msg)); \
+    }                                                                     \
+  } while (false)
+
+/// Postcondition check: result validation before returning.
+#define FINDEP_ENSURE(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::findep::support::detail::fail_contract(                           \
+          "postcondition", #expr, std::source_location::current(), "");   \
+    }                                                                     \
+  } while (false)
+
+/// Internal-invariant check.
+#define FINDEP_ASSERT(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::findep::support::detail::fail_contract(                           \
+          "invariant", #expr, std::source_location::current(), "");       \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,99 @@
+// Deterministic random-number generation for simulations.
+//
+// All stochastic components in findep (network latency, mining arrivals,
+// vulnerability sampling, sortition) draw from an explicitly-seeded `Rng`
+// so that every experiment is reproducible from its seed. The generator is
+// xoshiro256++ seeded through splitmix64, which is fast, has a 2^256-1
+// period, and passes BigCrush — more than adequate for discrete-event
+// simulation (crypto-grade randomness is NOT provided here; see
+// crypto/keys.h for key material, which is likewise simulation-grade).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace findep::support {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing of
+/// 64-bit values (e.g. deriving per-node seeds from a master seed).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of a single 64-bit value (one splitmix64 round).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256++ engine. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xfeedface12345678ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Derives an independent child generator; `stream` distinguishes
+  /// siblings derived from the same parent.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
+  /// the result is exactly uniform.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool chance(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires
+  /// rate > 0. Used for Poisson-process inter-arrival times (mining).
+  [[nodiscard]] double exponential(double rate);
+
+  /// Normal variate (Box–Muller, no state cached).
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Poisson variate (Knuth for small mean, normal approximation above 64).
+  [[nodiscard]] std::uint64_t poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Requires at least one strictly positive weight and no
+  /// negative weights.
+  [[nodiscard]] std::size_t categorical(std::span<const double> weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s = 0 is
+  /// uniform). Models "monoculture" popularity skew of software components.
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(values[i], values[below(i + 1)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace findep::support

@@ -1,0 +1,105 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace findep::support {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  FINDEP_REQUIRE(!values.empty());
+  FINDEP_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - frac) + sorted[lower + 1] * frac;
+}
+
+double mean_of(std::span<const double> values) {
+  FINDEP_REQUIRE(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FINDEP_REQUIRE(lo < hi);
+  FINDEP_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>(
+      (x - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count_in(std::size_t bucket) const {
+  FINDEP_REQUIRE(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_low(std::size_t bucket) const {
+  FINDEP_REQUIRE(bucket < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << '[' << bucket_low(i) << ',' << (bucket_low(i) + width)
+        << "):" << counts_[i];
+  }
+  return out.str();
+}
+
+}  // namespace findep::support

@@ -1,0 +1,57 @@
+// Aligned table rendering for the benchmark harness. Every bench binary
+// regenerates a paper table/figure as rows printed through this class, so
+// the output format is uniform and machine-extractable (optional CSV mode).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace findep::support {
+
+/// Collects rows of stringified cells and renders them either as an
+/// aligned, human-readable table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with `format_cell`.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({format_cell(values)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Renders with space-padded, right-aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (cell content never needs quoting in our usage).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] static std::string format_cell(const std::string& v);
+  [[nodiscard]] static std::string format_cell(const char* v);
+  /// Doubles are rendered with six significant digits.
+  [[nodiscard]] static std::string format_cell(double v);
+  template <std::integral T>
+  [[nodiscard]] static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to delimit experiments in
+/// bench output.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace findep::support

@@ -1,0 +1,153 @@
+// DiversityAnalyzer: population → report, per-axis entropy, blast radii.
+#include <gtest/gtest.h>
+
+#include "config/sampler.h"
+#include "diversity/analyzer.h"
+#include "diversity/metrics.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+namespace {
+
+std::vector<ReplicaRecord> distinct_population(std::size_t n,
+                                               double power_each = 1.0) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+  std::vector<ReplicaRecord> population;
+  for (const auto& cfg : sampler.distinct_configurations(n)) {
+    population.push_back(ReplicaRecord{cfg, power_each, true});
+  }
+  return population;
+}
+
+TEST(Analyzer, RejectsEmptyOrPowerlessPopulations) {
+  EXPECT_THROW((void)DiversityAnalyzer::analyze({}),
+               support::ContractViolation);
+  auto population = distinct_population(4, 0.0);
+  EXPECT_THROW((void)DiversityAnalyzer::analyze(population),
+               support::ContractViolation);
+}
+
+TEST(Analyzer, UniformDistinctPopulationReport) {
+  const auto population = distinct_population(8);
+  const DiversityReport report = DiversityAnalyzer::analyze(population);
+  EXPECT_EQ(report.replica_count, 8u);
+  EXPECT_DOUBLE_EQ(report.total_power, 8.0);
+  EXPECT_EQ(report.support, 8u);
+  EXPECT_NEAR(report.entropy_bits, 3.0, 1e-9);
+  EXPECT_NEAR(report.evenness, 1.0, 1e-9);
+  EXPECT_NEAR(report.effective_configs, 8.0, 1e-6);
+  EXPECT_DOUBLE_EQ(report.dominance, 0.125);
+  EXPECT_DOUBLE_EQ(report.attested_fraction, 1.0);
+  EXPECT_EQ(report.bft.min_faults, 3u);       // ⌊8/3⌋+1
+  EXPECT_EQ(report.nakamoto.min_faults, 5u);  // 8/2+1
+}
+
+TEST(Analyzer, MonocultureCollapsesToOneConfig) {
+  const config::ComponentCatalog catalog = config::monoculture_catalog();
+  config::ConfigurationSampler sampler(
+      catalog, config::SamplerOptions{.zipf_exponent = 0.0,
+                                      .attestable_fraction = 1.0});
+  support::Rng rng(1);
+  std::vector<ReplicaRecord> population;
+  for (const auto& cfg : sampler.sample_population(rng, 20)) {
+    population.push_back(ReplicaRecord{cfg, 1.0, true});
+  }
+  const DiversityReport report = DiversityAnalyzer::analyze(population);
+  EXPECT_EQ(report.support, 1u);
+  EXPECT_DOUBLE_EQ(report.entropy_bits, 0.0);
+  EXPECT_TRUE(report.bft.single_point_of_failure);
+  ASSERT_TRUE(report.worst_overall.has_value());
+  EXPECT_DOUBLE_EQ(report.worst_overall->power_fraction, 1.0);
+}
+
+TEST(Analyzer, ComponentBlastRadiusExceedsConfigDominance) {
+  // Two configs that share an OS: the per-component blast radius must see
+  // the union even though configurations differ.
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  const auto os = catalog.of_kind(config::ComponentKind::kOperatingSystem);
+  const auto lib = catalog.of_kind(config::ComponentKind::kCryptoLibrary);
+
+  config::ReplicaConfiguration a, b;
+  for (const auto kind : config::all_component_kinds()) {
+    const auto choices = catalog.of_kind(kind);
+    if (choices.empty()) continue;
+    a.set(catalog, choices[0]);
+    b.set(catalog, choices[0]);
+  }
+  b.set(catalog, lib[1]);  // differs only in crypto library
+  ASSERT_NE(a.digest(), b.digest());
+
+  const std::vector<ReplicaRecord> population = {
+      ReplicaRecord{a, 1.0, true}, ReplicaRecord{b, 1.0, true}};
+  const DiversityReport report = DiversityAnalyzer::analyze(population);
+  EXPECT_EQ(report.support, 2u);
+  EXPECT_DOUBLE_EQ(report.dominance, 0.5);  // config level
+  ASSERT_TRUE(report.worst_overall.has_value());
+  // The shared OS affects 100% of power.
+  EXPECT_DOUBLE_EQ(report.worst_overall->power_fraction, 1.0);
+  EXPECT_EQ(report.worst_overall->replicas, 2u);
+  (void)os;
+}
+
+TEST(Analyzer, PerKindEntropyIsZeroForSharedAxis) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  auto population = distinct_population(4);
+  // Force every replica onto one wallet.
+  const auto wallet = catalog.of_kind(config::ComponentKind::kWallet)[0];
+  for (auto& rec : population) {
+    rec.configuration.set(catalog, wallet);
+  }
+  const DiversityReport report = DiversityAnalyzer::analyze(population);
+  EXPECT_NEAR(report.kind_entropy_bits.at(config::ComponentKind::kWallet),
+              0.0, 1e-12);
+  EXPECT_GT(report.kind_entropy_bits.at(
+                config::ComponentKind::kOperatingSystem),
+            1.9);
+}
+
+TEST(Analyzer, AttestedFractionIsPowerWeighted) {
+  auto population = distinct_population(4);
+  population[0].attested = false;
+  population[0].power = 7.0;  // 7 of 10 total
+  const DiversityReport report = DiversityAnalyzer::analyze(population);
+  EXPECT_NEAR(report.attested_fraction, 0.3, 1e-12);
+}
+
+TEST(Analyzer, DistributionOfSkipsUnattestedWhenAsked) {
+  auto population = distinct_population(4);
+  population[2].attested = false;
+  const ConfigDistribution all =
+      DiversityAnalyzer::distribution_of(population, true);
+  const ConfigDistribution attested_only =
+      DiversityAnalyzer::distribution_of(population, false);
+  EXPECT_EQ(all.support_size(), 4u);
+  EXPECT_EQ(attested_only.support_size(), 3u);
+}
+
+TEST(Analyzer, ReportRendersHumanReadably) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  const DiversityReport report =
+      DiversityAnalyzer::analyze(distinct_population(8));
+  const std::string text = report.to_string(&catalog);
+  EXPECT_NE(text.find("8 replicas"), std::string::npos);
+  EXPECT_NE(text.find("H="), std::string::npos);
+  EXPECT_NE(text.find("worst single component"), std::string::npos);
+  // Without a catalog it still renders ids.
+  EXPECT_NE(report.to_string().find("component#"), std::string::npos);
+}
+
+TEST(Analyzer, WorstPerKindCoversPresentKinds) {
+  const DiversityReport report =
+      DiversityAnalyzer::analyze(distinct_population(6));
+  // All 7 kinds present (distinct_configurations sets every kind).
+  EXPECT_EQ(report.worst_per_kind.size(), config::kComponentKindCount);
+  for (const ComponentExposure& exp : report.worst_per_kind) {
+    EXPECT_GT(exp.power_fraction, 0.0);
+    EXPECT_LE(exp.power_fraction, 1.0);
+    EXPECT_GE(exp.replicas, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace findep::diversity

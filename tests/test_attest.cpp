@@ -1,0 +1,236 @@
+// Remote attestation: endorsement chain, quotes, nonce freshness, vote-key
+// binding, commitment privacy, registry reconstruction.
+#include <gtest/gtest.h>
+
+#include "attest/registry.h"
+#include "config/sampler.h"
+#include "diversity/metrics.h"
+#include "support/assert.h"
+
+namespace findep::attest {
+namespace {
+
+struct Fixture {
+  crypto::KeyRegistry keys;
+  support::Rng rng{42};
+  config::ComponentCatalog catalog = config::standard_catalog();
+  AttestationAuthority authority{keys, rng};
+
+  config::ReplicaConfiguration attestable_config(std::size_t variant) {
+    config::ConfigurationSampler sampler(
+        catalog, config::SamplerOptions{.zipf_exponent = 0.0,
+                                        .attestable_fraction = 1.0});
+    auto configs = sampler.distinct_configurations(variant + 1);
+    return configs[variant];
+  }
+
+  PlatformModule make_platform(std::size_t variant) {
+    const auto cfg = attestable_config(variant);
+    const auto hw = cfg.component(config::ComponentKind::kTrustedHardware);
+    return PlatformModule(keys, rng, authority, *hw, cfg);
+  }
+};
+
+TEST(Authority, EndorsementVerifies) {
+  Fixture f;
+  const crypto::KeyPair platform = crypto::KeyPair::generate(f.rng);
+  f.keys.enroll(platform);
+  const Endorsement e =
+      f.authority.endorse(platform.public_key(), config::ComponentId{0});
+  EXPECT_TRUE(
+      AttestationAuthority::verify(f.keys, f.authority.root_key(), e));
+}
+
+TEST(Authority, WrongRootRejected) {
+  Fixture f;
+  AttestationAuthority other(f.keys, f.rng);
+  const crypto::KeyPair platform = crypto::KeyPair::generate(f.rng);
+  const Endorsement e =
+      f.authority.endorse(platform.public_key(), config::ComponentId{0});
+  EXPECT_FALSE(
+      AttestationAuthority::verify(f.keys, other.root_key(), e));
+}
+
+TEST(Authority, TamperedHardwareIdRejected) {
+  Fixture f;
+  const crypto::KeyPair platform = crypto::KeyPair::generate(f.rng);
+  Endorsement e =
+      f.authority.endorse(platform.public_key(), config::ComponentId{0});
+  e.hardware = config::ComponentId{1};
+  EXPECT_FALSE(
+      AttestationAuthority::verify(f.keys, f.authority.root_key(), e));
+}
+
+TEST(Quote, FreshQuoteVerifies) {
+  Fixture f;
+  const PlatformModule platform = f.make_platform(0);
+  const crypto::Digest nonce = crypto::sha256("nonce-1");
+  const Quote q = platform.quote(nonce);
+  EXPECT_TRUE(verify_quote(f.keys, f.authority.root_key(), q, nonce));
+}
+
+TEST(Quote, WrongNonceRejected) {
+  Fixture f;
+  const PlatformModule platform = f.make_platform(0);
+  const Quote q = platform.quote(crypto::sha256("nonce-a"));
+  EXPECT_FALSE(verify_quote(f.keys, f.authority.root_key(), q,
+                            crypto::sha256("nonce-b")));
+}
+
+TEST(Quote, SwappedVoteKeyRejected) {
+  // Remark 3: the vote key is bound inside the signed quote; replacing it
+  // invalidates the signature.
+  Fixture f;
+  const PlatformModule platform = f.make_platform(0);
+  const crypto::Digest nonce = crypto::sha256("nonce-2");
+  Quote q = platform.quote(nonce);
+  const crypto::KeyPair hijacker = crypto::KeyPair::generate(f.rng);
+  f.keys.enroll(hijacker);
+  q.vote_key = hijacker.public_key();
+  EXPECT_FALSE(verify_quote(f.keys, f.authority.root_key(), q, nonce));
+}
+
+TEST(Quote, MismatchedEndorsementRejected) {
+  Fixture f;
+  const PlatformModule a = f.make_platform(0);
+  const PlatformModule b = f.make_platform(1);
+  const crypto::Digest nonce = crypto::sha256("nonce-3");
+  Quote q = a.quote(nonce);
+  q.endorsement = b.quote(nonce).endorsement;  // someone else's chain
+  EXPECT_FALSE(verify_quote(f.keys, f.authority.root_key(), q, nonce));
+}
+
+TEST(Quote, PlatformRequiresMatchingHardware) {
+  Fixture f;
+  auto cfg = f.attestable_config(0);
+  const auto other_hw =
+      f.catalog.of_kind(config::ComponentKind::kTrustedHardware)[1];
+  EXPECT_THROW(
+      PlatformModule(f.keys, f.rng, f.authority, other_hw, cfg),
+      support::ContractViolation);
+}
+
+TEST(Commitment, OpensOnlyWithRightSaltAndConfig) {
+  Fixture f;
+  const PlatformModule platform = f.make_platform(0);
+  const Quote q = platform.quote(crypto::sha256("n"));
+  const CommitmentOpening opening = platform.open_commitment();
+  EXPECT_TRUE(verify_opening(q.commitment, opening));
+
+  CommitmentOpening wrong_cfg = opening;
+  wrong_cfg.config_digest = crypto::sha256("other-config");
+  EXPECT_FALSE(verify_opening(q.commitment, wrong_cfg));
+
+  CommitmentOpening wrong_salt = opening;
+  wrong_salt.salt = crypto::sha256("other-salt");
+  EXPECT_FALSE(verify_opening(q.commitment, wrong_salt));
+}
+
+TEST(Commitment, HidesConfiguration) {
+  // Two platforms with the same configuration produce different
+  // commitments (salted) — an observer cannot link them.
+  Fixture f;
+  const auto cfg = f.attestable_config(0);
+  const auto hw = cfg.component(config::ComponentKind::kTrustedHardware);
+  PlatformModule p1(f.keys, f.rng, f.authority, *hw, cfg);
+  PlatformModule p2(f.keys, f.rng, f.authority, *hw, cfg);
+  EXPECT_NE(p1.quote(crypto::sha256("n")).commitment,
+            p2.quote(crypto::sha256("n")).commitment);
+}
+
+TEST(Registry, ChallengeAdmitHappyPath) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  const PlatformModule platform = f.make_platform(0);
+  const crypto::Digest nonce = registry.challenge();
+  EXPECT_TRUE(registry.admit(platform.quote(nonce), 5.0));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.is_admitted(platform.vote_key()));
+}
+
+TEST(Registry, NonceReplayRejected) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  const PlatformModule a = f.make_platform(0);
+  const PlatformModule b = f.make_platform(1);
+  const crypto::Digest nonce = registry.challenge();
+  EXPECT_TRUE(registry.admit(a.quote(nonce), 1.0));
+  EXPECT_FALSE(registry.admit(b.quote(nonce), 1.0));  // replayed nonce
+}
+
+TEST(Registry, UnknownNonceRejected) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  const PlatformModule platform = f.make_platform(0);
+  EXPECT_FALSE(
+      registry.admit(platform.quote(crypto::sha256("made-up")), 1.0));
+}
+
+TEST(Registry, DuplicateVoteKeyRejected) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  const PlatformModule platform = f.make_platform(0);
+  EXPECT_TRUE(registry.admit(platform.quote(registry.challenge()), 1.0));
+  EXPECT_FALSE(registry.admit(platform.quote(registry.challenge()), 1.0));
+}
+
+TEST(Registry, MerkleProofsCoverRecords) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  std::vector<PlatformModule> platforms;
+  for (std::size_t i = 0; i < 5; ++i) {
+    platforms.push_back(f.make_platform(i));
+    ASSERT_TRUE(
+        registry.admit(platforms.back().quote(registry.challenge()), 1.0));
+  }
+  const crypto::Digest root = registry.merkle_root();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const crypto::Digest leaf =
+        AttestationRegistry::record_leaf(registry.records()[i]);
+    EXPECT_TRUE(
+        crypto::MerkleTree::verify(leaf, registry.prove_record(i), root));
+  }
+}
+
+TEST(Registry, ReconstructionSeparatesOpenedAndUnopened) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  std::vector<PlatformModule> platforms;
+  for (std::size_t i = 0; i < 4; ++i) {
+    platforms.push_back(f.make_platform(i));
+    ASSERT_TRUE(
+        registry.admit(platforms.back().quote(registry.challenge()), 1.0));
+  }
+  // Open only the first two.
+  std::unordered_map<crypto::PublicKey, CommitmentOpening> openings;
+  openings[platforms[0].vote_key()] = platforms[0].open_commitment();
+  openings[platforms[1].vote_key()] = platforms[1].open_commitment();
+
+  const diversity::ConfigDistribution dist =
+      registry.reconstruct_distribution(openings);
+  // 2 opened configs + 1 aggregated unopened bucket.
+  EXPECT_EQ(dist.support_size(), 3u);
+  EXPECT_DOUBLE_EQ(dist.total_power(), 4.0);
+  // The unopened bucket carries 2 units of power.
+  double max_power = 0.0;
+  for (const auto& e : dist.entries()) {
+    max_power = std::max(max_power, e.power);
+  }
+  EXPECT_DOUBLE_EQ(max_power, 2.0);
+}
+
+TEST(Registry, BogusOpeningFallsIntoUnopenedBucket) {
+  Fixture f;
+  AttestationRegistry registry(f.keys, f.authority.root_key());
+  const PlatformModule platform = f.make_platform(0);
+  ASSERT_TRUE(registry.admit(platform.quote(registry.challenge()), 1.0));
+  std::unordered_map<crypto::PublicKey, CommitmentOpening> openings;
+  CommitmentOpening bogus = platform.open_commitment();
+  bogus.config_digest = crypto::sha256("lie");
+  openings[platform.vote_key()] = bogus;
+  const auto dist = registry.reconstruct_distribution(openings);
+  EXPECT_EQ(dist.support_size(), 1u);  // only the unopened bucket
+}
+
+}  // namespace
+}  // namespace findep::attest

@@ -1,0 +1,201 @@
+// PBFT: normal case, crash & Byzantine faults, view changes, weighted
+// quorums, checkpointing. Safety is asserted via log prefix-consistency.
+#include <gtest/gtest.h>
+
+#include "bft/cluster.h"
+#include "support/assert.h"
+
+namespace findep::bft {
+namespace {
+
+ClusterOptions fast_options(std::uint64_t seed = 1) {
+  ClusterOptions opt;
+  opt.network.min_latency = 0.005;
+  opt.network.mean_extra_latency = 0.01;
+  opt.replica.request_timeout = 0.8;
+  opt.replica.view_change_timeout = 1.2;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(Bft, HappyPathExecutesAndAgrees) {
+  BftCluster cluster(4, fast_options());
+  for (int i = 0; i < 5; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(5, 30.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  EXPECT_EQ(cluster.replica(0).view(), 0u);  // no view change needed
+  EXPECT_GT(cluster.mean_latency(), 0.0);
+}
+
+TEST(Bft, RejectsTooSmallCluster) {
+  EXPECT_THROW(BftCluster(3, fast_options()), support::ContractViolation);
+}
+
+class BftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BftSizes, ExecutesAcrossClusterSizes) {
+  BftCluster cluster(GetParam(), fast_options(GetParam()));
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(3, 60.0)) << GetParam();
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BftSizes,
+                         ::testing::Values(4, 5, 7, 10, 13, 16));
+
+TEST(Bft, ToleratesSilentBackupReplica) {
+  // n = 4 tolerates f = 1; replica 2 (a backup) is silent.
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[2] = Behavior::kSilent;
+  BftCluster cluster(4, fast_options(2), behaviors);
+  for (int i = 0; i < 5; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(5, 30.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(Bft, SilentPrimaryTriggersViewChangeAndRecovers) {
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[0] = Behavior::kSilent;  // primary of view 0
+  BftCluster cluster(4, fast_options(3), behaviors);
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(3, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  // Some honest replica moved past view 0.
+  bool advanced = false;
+  for (std::size_t i = 1; i < 4; ++i) {
+    advanced |= cluster.replica(i).view() > 0;
+  }
+  EXPECT_TRUE(advanced);
+}
+
+TEST(Bft, EquivocatingPrimaryCannotViolateSafety) {
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[0] = Behavior::kEquivocate;
+  BftCluster cluster(4, fast_options(4), behaviors);
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  // Progress resumes after the view change evicts the equivocator.
+  EXPECT_TRUE(cluster.run_until_executed(3, 90.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(Bft, TwoSilentInSevenTolerated) {
+  // n = 7 tolerates f = 2.
+  std::vector<Behavior> behaviors(7, Behavior::kHonest);
+  behaviors[3] = Behavior::kSilent;
+  behaviors[5] = Behavior::kSilent;
+  BftCluster cluster(7, fast_options(5), behaviors);
+  for (int i = 0; i < 4; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(4, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(Bft, CascadedPrimaryFailuresEventuallyRecover) {
+  // Primaries of views 0 and 1 both silent: two view changes needed.
+  std::vector<Behavior> behaviors(7, Behavior::kHonest);
+  behaviors[0] = Behavior::kSilent;
+  behaviors[1] = Behavior::kSilent;
+  BftCluster cluster(7, fast_options(6), behaviors);
+  for (int i = 0; i < 2; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(2, 120.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  bool reached_view2 = false;
+  for (std::size_t i = 0; i < 7; ++i) {
+    reached_view2 |= cluster.replica(i).view() >= 2;
+  }
+  EXPECT_TRUE(reached_view2);
+}
+
+TEST(Bft, BeyondThresholdStallsButStaysSafe) {
+  // n = 4 with 2 silent replicas (> f): no progress, but no divergence.
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[1] = Behavior::kSilent;
+  behaviors[2] = Behavior::kSilent;
+  BftCluster cluster(4, fast_options(7), behaviors);
+  cluster.submit();
+  EXPECT_FALSE(cluster.run_until_executed(1, 20.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  EXPECT_EQ(cluster.min_honest_executed(), 0u);
+}
+
+TEST(Bft, WeightedQuorumFollowsPowerNotCount) {
+  // 5 replicas; replica 0 holds 60% of the power and is silent: the rest
+  // hold only 40% < 2/3 — no progress possible (safety bound is weighted).
+  std::vector<double> weights = {6.0, 1.0, 1.0, 1.0, 1.0};
+  std::vector<Behavior> behaviors(5, Behavior::kHonest);
+  behaviors[0] = Behavior::kSilent;
+  BftCluster heavy(weights, fast_options(8), behaviors);
+  heavy.submit();
+  EXPECT_FALSE(heavy.run_until_executed(1, 20.0));
+
+  // Same weights but a *light* replica fails: 9/10 > 2/3 remains.
+  std::vector<Behavior> light_fail(5, Behavior::kHonest);
+  light_fail[4] = Behavior::kSilent;
+  BftCluster light(weights, fast_options(9), light_fail);
+  for (int i = 0; i < 3; ++i) light.submit();
+  EXPECT_TRUE(light.run_until_executed(3, 30.0));
+  EXPECT_TRUE(light.logs_consistent());
+}
+
+TEST(Bft, CheckpointsPruneAndStabilize) {
+  ClusterOptions opt = fast_options(10);
+  opt.replica.checkpoint_interval = 4;
+  BftCluster cluster(4, opt);
+  for (int i = 0; i < 10; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(10, 60.0));
+  cluster.run_for(5.0);  // let checkpoint votes settle
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(cluster.replica(i).stable_checkpoint(), 4u) << i;
+  }
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(Bft, MessageComplexityGrowsSuperlinearly) {
+  const auto messages_for = [](std::size_t n) {
+    BftCluster cluster(n, fast_options(11));
+    for (int i = 0; i < 3; ++i) cluster.submit();
+    EXPECT_TRUE(cluster.run_until_executed(3, 60.0));
+    return cluster.network().stats().messages_sent;
+  };
+  const auto small = messages_for(4);
+  const auto large = messages_for(8);
+  // Quadratic phases: 2x replicas should cost clearly more than 2x
+  // messages.
+  EXPECT_GT(static_cast<double>(large),
+            2.5 * static_cast<double>(small));
+}
+
+TEST(Bft, ExecutedSequencesAreDense) {
+  BftCluster cluster(4, fast_options(12));
+  for (int i = 0; i < 6; ++i) cluster.submit();
+  ASSERT_TRUE(cluster.run_until_executed(6, 30.0));
+  const auto& log = cluster.replica(1).executed();
+  for (std::size_t j = 0; j < log.size(); ++j) {
+    EXPECT_EQ(log[j].seq, j + 1);
+  }
+}
+
+TEST(Bft, DuplicateClientSubmissionsExecuteOnce) {
+  BftCluster cluster(4, fast_options(13));
+  cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(1, 30.0));
+  const std::size_t before = cluster.replica(0).executed().size();
+  // The client's request went to all four replicas; each forwarded it to
+  // the primary. Still exactly one execution.
+  cluster.run_for(5.0);
+  EXPECT_EQ(cluster.replica(0).executed().size(), before);
+}
+
+TEST(Bft, LatencyScalesWithNetworkDelay) {
+  ClusterOptions fast = fast_options(14);
+  ClusterOptions slow = fast_options(14);
+  slow.network.min_latency = 0.2;
+  BftCluster a(4, fast), b(4, slow);
+  a.submit();
+  b.submit();
+  ASSERT_TRUE(a.run_until_executed(1, 30.0));
+  ASSERT_TRUE(b.run_until_executed(1, 30.0));
+  EXPECT_LT(a.mean_latency(), b.mean_latency());
+}
+
+}  // namespace
+}  // namespace findep::bft

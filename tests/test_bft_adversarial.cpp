@@ -1,0 +1,219 @@
+// Adversarial and edge-case PBFT tests: network-level attacks (partition,
+// targeted delay/drop), forged protocol messages, weighted equivocators,
+// and recovery dynamics beyond the happy paths of test_bft.cpp.
+#include <gtest/gtest.h>
+
+#include "bft/cluster.h"
+#include "support/assert.h"
+
+namespace findep::bft {
+namespace {
+
+ClusterOptions fast_options(std::uint64_t seed = 1) {
+  ClusterOptions opt;
+  opt.network.min_latency = 0.005;
+  opt.network.mean_extra_latency = 0.01;
+  opt.replica.request_timeout = 0.8;
+  opt.replica.view_change_timeout = 1.2;
+  opt.seed = seed;
+  return opt;
+}
+
+/// Real (non-noop) executions of one replica.
+std::size_t real_executed(const Replica& replica) {
+  std::size_t count = 0;
+  for (const ExecutedEntry& e : replica.executed()) {
+    if (e.request.id != 0) ++count;
+  }
+  return count;
+}
+
+/// Number of replicas that executed at least `target` real requests.
+std::size_t replicas_at(const BftCluster& cluster, std::size_t target) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (real_executed(cluster.replica(i)) >= target) ++count;
+  }
+  return count;
+}
+
+TEST(BftAdversarial, PartitionStallsThenHeals) {
+  BftCluster cluster(4, fast_options(21));
+  // Cut replica 3 off; the 3 connected replicas still form a quorum and
+  // make progress; the partitioned one cannot (no state transfer).
+  cluster.network().set_partition_group(3, 1);
+  cluster.submit();
+  cluster.run_for(20.0);
+  EXPECT_GE(replicas_at(cluster, 1), 3u);
+  EXPECT_EQ(real_executed(cluster.replica(3)), 0u);
+  EXPECT_TRUE(cluster.logs_consistent());
+
+  // Now cut a second replica: only 2 of 4 connected — no quorum, the new
+  // request stalls everywhere.
+  cluster.network().set_partition_group(2, 2);
+  cluster.submit();
+  cluster.run_for(20.0);
+  EXPECT_EQ(replicas_at(cluster, 2), 0u);
+  EXPECT_TRUE(cluster.logs_consistent());
+
+  // Heal: the pending request commits on (at least) a quorum.
+  cluster.network().heal_partitions();
+  cluster.run_for(120.0);
+  EXPECT_GE(replicas_at(cluster, 2), 3u);
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(BftAdversarial, AdversarialLinkDropAgainstOneReplica) {
+  // The adversary drops everything TO replica 2 (it can still send).
+  // n = 4 tolerates one such isolated replica: the other three commit.
+  BftCluster cluster(4, fast_options(22));
+  cluster.network().set_filter(
+      [](net::NodeId, net::NodeId to) { return to != 2; });
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  cluster.run_for(60.0);
+  EXPECT_GE(replicas_at(cluster, 3), 3u);
+  EXPECT_EQ(real_executed(cluster.replica(2)), 0u);
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(BftAdversarial, AdversarialDelayOnlySlowsDown) {
+  // §II-B: the attacker may arbitrarily delay messages. Half a second on
+  // every link of one replica must not break safety or liveness (the
+  // other three carry the quorum).
+  BftCluster cluster(4, fast_options(23));
+  cluster.network().set_delay_policy([](net::NodeId from, net::NodeId to) {
+    return (from == 1 || to == 1) ? 0.5 : 0.0;
+  });
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(3, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(BftAdversarial, ForgedEnvelopeIsIgnored) {
+  BftCluster cluster(4, fast_options(24));
+  // An outsider injects a PrePrepare claiming to be replica 0 (the
+  // primary) but signed with a key that is not in the directory.
+  crypto::KeyPair outsider = crypto::KeyPair::derive(999999);
+  Request forged_request{77, crypto::sha256("forged-op")};
+  Envelope forged =
+      make_envelope(/*sender=*/0, outsider, PrePrepare{0, 1, forged_request});
+  for (net::NodeId r = 0; r < 4; ++r) {
+    cluster.network().send(0, r, forged, 256);
+  }
+  cluster.run_for(5.0);
+  // Nothing executed: the forged pre-prepare must not start consensus.
+  EXPECT_EQ(cluster.min_honest_executed(), 0u);
+
+  // And the cluster still works normally afterwards.
+  cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(1, 30.0));
+}
+
+TEST(BftAdversarial, OutsiderCannotSendProtocolMessages) {
+  BftCluster cluster(4, fast_options(25));
+  // A *valid* key, but sender id beyond the directory: protocol messages
+  // (non-Request) from clients must be ignored.
+  crypto::KeyPair client = crypto::KeyPair::derive(424242);
+  // Enroll via a fresh cluster-side path: the registry only holds cluster
+  // keys, so verification fails regardless; this asserts no crash and no
+  // progress from garbage.
+  Envelope env = make_envelope(/*sender=*/17, client,
+                               Commit{0, 1, crypto::sha256("x")});
+  for (net::NodeId r = 0; r < 4; ++r) {
+    cluster.network().send(17, r, env, 256);
+  }
+  cluster.run_for(2.0);
+  EXPECT_EQ(cluster.min_honest_executed(), 0u);
+}
+
+TEST(BftAdversarial, WeightedEquivocatorBelowThirdIsHarmless) {
+  // The equivocating primary holds 30% of power (< 1/3): after its view
+  // is changed away, the remaining 70% commits everything.
+  std::vector<double> weights = {3.0, 2.0, 2.5, 2.5};
+  std::vector<Behavior> behaviors = {Behavior::kEquivocate,
+                                     Behavior::kHonest, Behavior::kHonest,
+                                     Behavior::kHonest};
+  BftCluster cluster(weights, fast_options(26), behaviors);
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(3, 90.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(BftAdversarial, HeavySilentMajorityStallsForever) {
+  // 40% silent weight > 1/3: permanent stall, but logs stay consistent —
+  // exactly the safety-vs-liveness split the paper's f bound encodes.
+  std::vector<double> weights = {4.0, 2.0, 2.0, 2.0};
+  std::vector<Behavior> behaviors = {Behavior::kSilent, Behavior::kHonest,
+                                     Behavior::kHonest, Behavior::kHonest};
+  BftCluster cluster(weights, fast_options(27), behaviors);
+  cluster.submit();
+  EXPECT_FALSE(cluster.run_until_executed(1, 30.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  // View changes happened (liveness attempts) but could not assemble.
+  bool attempted = false;
+  for (std::size_t i = 1; i < 4; ++i) {
+    attempted |= cluster.replica(i).view_changes_started() > 0;
+  }
+  EXPECT_TRUE(attempted);
+}
+
+TEST(BftAdversarial, LateJoinerCatchesUpViaBufferedMessages) {
+  // A replica whose inbound links are delayed by more than a view-change
+  // round still converges thanks to future-view message buffering.
+  BftCluster cluster(7, fast_options(28));
+  cluster.network().set_delay_policy([](net::NodeId, net::NodeId to) {
+    return to == 6 ? 0.4 : 0.0;  // replica 6 lags behind everyone
+  });
+  for (int i = 0; i < 5; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(5, 60.0));
+  cluster.run_for(10.0);  // let the laggard drain its queue
+  EXPECT_TRUE(cluster.logs_consistent());
+  // The laggard really executed (not just the quorum without it).
+  std::size_t real = 0;
+  for (const ExecutedEntry& e : cluster.replica(6).executed()) {
+    if (e.request.id != 0) ++real;
+  }
+  EXPECT_GE(real, 5u);
+}
+
+TEST(BftAdversarial, ContinuousLoadAcrossAViewChange) {
+  // Requests keep arriving while the primary dies mid-stream; everything
+  // submitted must eventually execute exactly once.
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[0] = Behavior::kSilent;
+  BftCluster cluster(4, fast_options(29), behaviors);
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 3; ++i) cluster.submit();
+    cluster.run_for(1.0);
+  }
+  EXPECT_TRUE(cluster.run_until_executed(12, 120.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  // Exactly-once: no honest log contains a client request id twice.
+  const auto& log = cluster.replica(1).executed();
+  std::set<std::uint64_t> seen;
+  for (const ExecutedEntry& e : log) {
+    if (e.request.id == 0) continue;
+    EXPECT_TRUE(seen.insert(e.request.id).second)
+        << "duplicate execution of request " << e.request.id;
+  }
+}
+
+TEST(BftAdversarial, LossyNetworkQuorumStillCommits) {
+  // 20% uniform message loss: without retransmission/state transfer,
+  // replicas that miss messages may lag with execution gaps (documented
+  // limitation) — they still contribute votes, so the *cluster* keeps
+  // committing. Assert that at least two replicas executed everything
+  // (evidence of commit quorums: commits need >2/3 weight of voters) and
+  // that safety held throughout.
+  ClusterOptions opt = fast_options(30);
+  opt.network.drop_probability = 0.20;
+  opt.replica.request_timeout = 0.5;
+  BftCluster cluster(4, opt);
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  cluster.run_for(240.0);
+  EXPECT_GE(replicas_at(cluster, 3), 2u);
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+}  // namespace
+}  // namespace findep::bft

@@ -1,0 +1,215 @@
+// Replica-configuration model: catalog, configuration digests, samplers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "config/catalog.h"
+#include "config/replica_config.h"
+#include "config/sampler.h"
+#include "support/assert.h"
+
+namespace findep::config {
+namespace {
+
+TEST(Catalog, StandardCatalogCoversEveryKind) {
+  const ComponentCatalog catalog = standard_catalog();
+  for (const ComponentKind kind : all_component_kinds()) {
+    EXPECT_GT(catalog.variety(kind), 0u) << to_string(kind);
+  }
+  // §III-B: exactly the four TEE families the paper lists.
+  EXPECT_EQ(catalog.variety(ComponentKind::kTrustedHardware), 4u);
+  EXPECT_GE(catalog.variety(ComponentKind::kOperatingSystem), 8u);
+}
+
+TEST(Catalog, IdsAreDenseAndRetrievable) {
+  const ComponentCatalog catalog = standard_catalog();
+  for (std::uint32_t i = 0; i < catalog.size(); ++i) {
+    const Component& c = catalog.get(ComponentId{i});
+    EXPECT_EQ(c.id.value, i);
+    EXPECT_FALSE(c.display().empty());
+  }
+  EXPECT_THROW((void)catalog.get(ComponentId{
+                   static_cast<std::uint32_t>(catalog.size())}),
+               support::ContractViolation);
+}
+
+TEST(Catalog, OfKindPartitionsComponents) {
+  const ComponentCatalog catalog = standard_catalog();
+  std::size_t total = 0;
+  for (const ComponentKind kind : all_component_kinds()) {
+    for (const ComponentId id : catalog.of_kind(kind)) {
+      EXPECT_EQ(catalog.get(id).kind, kind);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, catalog.size());
+}
+
+TEST(Catalog, ConfigurationSpaceSizeIsProduct) {
+  ComponentCatalog c;
+  c.add(ComponentKind::kOperatingSystem, "a", "os1", "1");
+  c.add(ComponentKind::kOperatingSystem, "a", "os2", "1");
+  c.add(ComponentKind::kCryptoLibrary, "b", "lib", "1");
+  c.add(ComponentKind::kTrustedHardware, "c", "tee", "1");
+  // 2 OS * 1 crypto * (1 TEE + absent) = 4.
+  EXPECT_DOUBLE_EQ(c.configuration_space_size(), 4.0);
+}
+
+TEST(ReplicaConfig, DigestIsStableAndOrderIndependent) {
+  const ComponentCatalog catalog = standard_catalog();
+  ReplicaConfiguration a, b;
+  const auto os = catalog.of_kind(ComponentKind::kOperatingSystem)[0];
+  const auto lib = catalog.of_kind(ComponentKind::kCryptoLibrary)[1];
+  a.set(catalog, os);
+  a.set(catalog, lib);
+  b.set(catalog, lib);
+  b.set(catalog, os);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ReplicaConfig, DigestDistinguishesComponents) {
+  const ComponentCatalog catalog = standard_catalog();
+  const auto oses = catalog.of_kind(ComponentKind::kOperatingSystem);
+  ReplicaConfiguration a, b;
+  a.set(catalog, oses[0]);
+  b.set(catalog, oses[1]);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ReplicaConfig, ClearRemovesChoice) {
+  const ComponentCatalog catalog = standard_catalog();
+  ReplicaConfiguration cfg;
+  const auto tee = catalog.of_kind(ComponentKind::kTrustedHardware)[0];
+  cfg.set(catalog, tee);
+  EXPECT_TRUE(cfg.is_attestable());
+  const auto digest_with = cfg.digest();
+  cfg.clear(ComponentKind::kTrustedHardware);
+  EXPECT_FALSE(cfg.is_attestable());
+  EXPECT_NE(cfg.digest(), digest_with);
+}
+
+TEST(ReplicaConfig, CompletenessIgnoresTrustedHardware) {
+  const ComponentCatalog catalog = standard_catalog();
+  ReplicaConfiguration cfg;
+  for (const ComponentKind kind : all_component_kinds()) {
+    if (kind == ComponentKind::kTrustedHardware) continue;
+    cfg.set(catalog, catalog.of_kind(kind)[0]);
+  }
+  EXPECT_TRUE(cfg.is_complete());
+  EXPECT_FALSE(cfg.is_attestable());
+  cfg.clear(ComponentKind::kWallet);
+  EXPECT_FALSE(cfg.is_complete());
+}
+
+TEST(ReplicaConfig, SharesComponentDetection) {
+  const ComponentCatalog catalog = standard_catalog();
+  const auto oses = catalog.of_kind(ComponentKind::kOperatingSystem);
+  const auto libs = catalog.of_kind(ComponentKind::kCryptoLibrary);
+  ReplicaConfiguration a, b;
+  a.set(catalog, oses[0]);
+  a.set(catalog, libs[0]);
+  b.set(catalog, oses[0]);
+  b.set(catalog, libs[1]);
+  EXPECT_TRUE(a.shares_component_with(b));
+  b.set(catalog, oses[1]);
+  EXPECT_FALSE(a.shares_component_with(b));
+}
+
+TEST(Sampler, ProducesCompleteConfigurations) {
+  const ComponentCatalog catalog = standard_catalog();
+  ConfigurationSampler sampler(catalog, SamplerOptions{});
+  support::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.sample(rng).is_complete());
+  }
+}
+
+TEST(Sampler, AttestableFractionRespected) {
+  const ComponentCatalog catalog = standard_catalog();
+  SamplerOptions opts;
+  opts.attestable_fraction = 0.25;
+  ConfigurationSampler sampler(catalog, opts);
+  support::Rng rng(2);
+  int attestable = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    if (sampler.sample(rng).is_attestable()) ++attestable;
+  }
+  EXPECT_NEAR(attestable, kN / 4, kN / 20);
+}
+
+TEST(Sampler, ZeroAndOneAttestableFractions) {
+  const ComponentCatalog catalog = standard_catalog();
+  support::Rng rng(3);
+  SamplerOptions none;
+  none.attestable_fraction = 0.0;
+  SamplerOptions all;
+  all.attestable_fraction = 1.0;
+  EXPECT_FALSE(
+      ConfigurationSampler(catalog, none).sample(rng).is_attestable());
+  EXPECT_TRUE(
+      ConfigurationSampler(catalog, all).sample(rng).is_attestable());
+}
+
+TEST(Sampler, HighZipfShrinksDiversity) {
+  const ComponentCatalog catalog = standard_catalog();
+  support::Rng rng_a(4), rng_b(4);
+  SamplerOptions uniform;
+  uniform.zipf_exponent = 0.0;
+  SamplerOptions skewed;
+  skewed.zipf_exponent = 3.0;
+
+  const auto distinct = [](const std::vector<ReplicaConfiguration>& pop) {
+    std::set<crypto::Digest> ids;
+    for (const auto& cfg : pop) ids.insert(cfg.digest());
+    return ids.size();
+  };
+  const auto uniform_pop =
+      ConfigurationSampler(catalog, uniform).sample_population(rng_a, 300);
+  const auto skewed_pop =
+      ConfigurationSampler(catalog, skewed).sample_population(rng_b, 300);
+  EXPECT_GT(distinct(uniform_pop), distinct(skewed_pop));
+}
+
+TEST(Sampler, DistinctConfigurationsAreDistinct) {
+  const ComponentCatalog catalog = standard_catalog();
+  ConfigurationSampler sampler(catalog, SamplerOptions{});
+  const auto configs = sampler.distinct_configurations(17);
+  std::set<crypto::Digest> ids;
+  for (const auto& cfg : configs) {
+    EXPECT_TRUE(cfg.is_complete());
+    ids.insert(cfg.digest());
+  }
+  EXPECT_EQ(ids.size(), configs.size());
+}
+
+TEST(Sampler, DistinctConfigurationsAdjacentShareNothing) {
+  const ComponentCatalog catalog = standard_catalog();
+  ConfigurationSampler sampler(catalog, SamplerOptions{});
+  const auto configs = sampler.distinct_configurations(4);
+  for (std::size_t i = 0; i + 1 < configs.size(); ++i) {
+    EXPECT_FALSE(configs[i].shares_component_with(configs[i + 1])) << i;
+  }
+}
+
+TEST(Sampler, MonocultureCatalogHasOneConfiguration) {
+  const ComponentCatalog catalog = monoculture_catalog();
+  ConfigurationSampler sampler(
+      catalog, SamplerOptions{.zipf_exponent = 0.0,
+                              .attestable_fraction = 1.0});
+  support::Rng rng(5);
+  const auto pop = sampler.sample_population(rng, 50);
+  std::set<crypto::Digest> ids;
+  for (const auto& cfg : pop) ids.insert(cfg.digest());
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(Sampler, RejectsIncompleteCatalog) {
+  ComponentCatalog empty;
+  EXPECT_THROW(ConfigurationSampler(empty, SamplerOptions{}),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::config

@@ -1,0 +1,268 @@
+// SHA-256 / HMAC against official vectors; simulated signatures and VRF.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "crypto/vrf.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) -------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256("").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256("abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: exercises the padding path that adds a full extra block.
+  const std::string block(64, 'a');
+  EXPECT_EQ(sha256(block).to_hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finish().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ContextReuseRejected) {
+  Sha256 h;
+  (void)h.update("x").finish();
+  EXPECT_THROW((void)h.finish(), support::ContractViolation);
+}
+
+TEST(Sha256, UpdateU64LittleEndian) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  const std::array<std::uint8_t, 8> le = {0x08, 0x07, 0x06, 0x05,
+                                          0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(a.finish(), sha256(std::span<const std::uint8_t>(le)));
+}
+
+TEST(Sha256, DoubleHash) {
+  const auto data = bytes_of("hello");
+  const Digest once = sha256(std::span<const std::uint8_t>(data));
+  EXPECT_EQ(sha256d(data), sha256(once.bytes));
+}
+
+TEST(Digest, HexRoundTrip) {
+  const Digest d = sha256("roundtrip");
+  EXPECT_EQ(Digest::from_hex(d.to_hex()), d);
+}
+
+TEST(Digest, FromHexRejectsMalformed) {
+  EXPECT_THROW((void)Digest::from_hex("abc"), support::ContractViolation);
+  std::string bad(64, 'g');
+  EXPECT_THROW((void)Digest::from_hex(bad), support::ContractViolation);
+}
+
+TEST(Digest, Prefix64BigEndian) {
+  Digest d{};
+  d.bytes[0] = 0x01;
+  d.bytes[7] = 0xff;
+  EXPECT_EQ(d.prefix64(), 0x01000000000000ffULL);
+}
+
+TEST(Digest, OrderingAndHash) {
+  const Digest a = sha256("a");
+  const Digest b = sha256("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_NE(std::hash<Digest>{}(a), std::hash<Digest>{}(b));
+}
+
+// --- HMAC-SHA256 (RFC 4231 vectors) --------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, "Hi There").to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = bytes_of("Jefe");
+  EXPECT_EQ(hmac_sha256(key, "what do ya want for nothing?").to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, data).to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsPreHashed) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(
+      hmac_sha256(key, "Test Using Larger Than Block-Size Key - Hash Key First")
+          .to_hex(),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  const auto k1 = bytes_of("key1");
+  const auto k2 = bytes_of("key2");
+  EXPECT_NE(hmac_sha256(k1, "msg"), hmac_sha256(k2, "msg"));
+}
+
+// --- Signatures --------------------------------------------------------
+
+TEST(Keys, SignVerifyRoundTrip) {
+  support::Rng rng(1);
+  const KeyPair keys = KeyPair::generate(rng);
+  KeyRegistry registry;
+  EXPECT_TRUE(registry.enroll(keys));
+  const Signature sig = keys.sign("hello world");
+  EXPECT_TRUE(registry.verify(keys.public_key(), "hello world", sig));
+}
+
+TEST(Keys, VerifyRejectsWrongMessage) {
+  support::Rng rng(2);
+  const KeyPair keys = KeyPair::generate(rng);
+  KeyRegistry registry;
+  registry.enroll(keys);
+  const Signature sig = keys.sign("msg-a");
+  EXPECT_FALSE(registry.verify(keys.public_key(), "msg-b", sig));
+}
+
+TEST(Keys, VerifyRejectsWrongSigner) {
+  support::Rng rng(3);
+  const KeyPair alice = KeyPair::generate(rng);
+  const KeyPair mallory = KeyPair::generate(rng);
+  KeyRegistry registry;
+  registry.enroll(alice);
+  registry.enroll(mallory);
+  const Signature forged = mallory.sign("pay mallory");
+  EXPECT_FALSE(registry.verify(alice.public_key(), "pay mallory", forged));
+}
+
+TEST(Keys, UnenrolledKeyNeverVerifies) {
+  support::Rng rng(4);
+  const KeyPair keys = KeyPair::generate(rng);
+  KeyRegistry registry;
+  EXPECT_FALSE(registry.is_enrolled(keys.public_key()));
+  EXPECT_FALSE(
+      registry.verify(keys.public_key(), "msg", keys.sign("msg")));
+}
+
+TEST(Keys, DeriveIsDeterministic) {
+  const KeyPair a = KeyPair::derive(42);
+  const KeyPair b = KeyPair::derive(42);
+  const KeyPair c = KeyPair::derive(43);
+  EXPECT_EQ(a.public_key(), b.public_key());
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(Keys, SignatureBindsToSigner) {
+  // Same message, different keys -> different tags (no cross-key replay).
+  const KeyPair a = KeyPair::derive(1);
+  const KeyPair b = KeyPair::derive(2);
+  EXPECT_NE(a.sign("m"), b.sign("m"));
+}
+
+TEST(Keys, EnrollIdempotentAndCollisionSafe) {
+  const KeyPair a = KeyPair::derive(7);
+  KeyRegistry registry;
+  EXPECT_TRUE(registry.enroll(a));
+  EXPECT_TRUE(registry.enroll(a));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// --- VRF ----------------------------------------------------------------
+
+TEST(Vrf, DeterministicPerKeyAndInput) {
+  const KeyPair keys = KeyPair::derive(11);
+  const Digest input = sha256("round-1");
+  const VrfOutput a = vrf_evaluate(keys, input);
+  const VrfOutput b = vrf_evaluate(keys, input);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.proof, b.proof);
+}
+
+TEST(Vrf, VerifiesAgainstRegistry) {
+  const KeyPair keys = KeyPair::derive(12);
+  KeyRegistry registry;
+  registry.enroll(keys);
+  const Digest input = sha256("round-2");
+  const VrfOutput out = vrf_evaluate(keys, input);
+  EXPECT_TRUE(vrf_verify(registry, keys.public_key(), input, out));
+}
+
+TEST(Vrf, RejectsWrongInput) {
+  const KeyPair keys = KeyPair::derive(13);
+  KeyRegistry registry;
+  registry.enroll(keys);
+  const VrfOutput out = vrf_evaluate(keys, sha256("x"));
+  EXPECT_FALSE(vrf_verify(registry, keys.public_key(), sha256("y"), out));
+}
+
+TEST(Vrf, UniquenessSelfChosenValueRejected) {
+  // A malicious key holder signs a value it likes; verification must
+  // reject because the oracle recomputes the true VRF value.
+  const KeyPair keys = KeyPair::derive(14);
+  KeyRegistry registry;
+  registry.enroll(keys);
+  const Digest input = sha256("round-3");
+  VrfOutput forged = vrf_evaluate(keys, input);
+  forged.value = sha256("a value I prefer");
+  // Re-sign so the proof matches the forged value.
+  forged.proof = keys.sign(Sha256{}
+                               .update("findep/vrf-proof/v1")
+                               .update(input.bytes)
+                               .update(forged.value.bytes)
+                               .finish());
+  EXPECT_FALSE(vrf_verify(registry, keys.public_key(), input, forged));
+}
+
+TEST(Vrf, OutputsAreUniformish) {
+  // Smoke check: mean of unit outputs over many keys near 0.5.
+  double sum = 0.0;
+  constexpr int kN = 2000;
+  const Digest input = sha256("round-4");
+  for (int i = 0; i < kN; ++i) {
+    sum += vrf_evaluate(KeyPair::derive(static_cast<std::uint64_t>(i)),
+                        input)
+               .as_unit_double();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace findep::crypto

@@ -1,0 +1,90 @@
+// The Example-1 Bitcoin dataset and the Figure-1 entropy series.
+#include <gtest/gtest.h>
+
+#include "diversity/datasets.h"
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "support/assert.h"
+
+namespace findep::diversity::datasets {
+namespace {
+
+TEST(Example1, SeventeenPoolsMatchingPaperTotals) {
+  const auto shares = bitcoin_pool_shares_percent();
+  ASSERT_EQ(shares.size(), kBitcoinPoolCount);
+  EXPECT_DOUBLE_EQ(shares[0], 34.239);  // Foundry USA
+  double total = 0.0;
+  for (const double s : shares) total += s;
+  // Paper: "17 mining pools ... possess 99.13% mining power".
+  EXPECT_NEAR(total, 99.13, 0.03);
+  EXPECT_NEAR(bitcoin_residual_percent(), 0.87, 0.03);
+  EXPECT_NEAR(total + bitcoin_residual_percent(), 100.0, 1e-9);
+}
+
+TEST(Example1, NamesAlignWithShares) {
+  const auto names = bitcoin_pool_names();
+  ASSERT_EQ(names.size(), kBitcoinPoolCount);
+  EXPECT_EQ(names[0], "Foundry USA");
+  EXPECT_EQ(names[1], "AntPool");
+}
+
+TEST(Figure1, DistributionCompositionIsPoolsPlusResidual) {
+  const ConfigDistribution dist = bitcoin_best_case_distribution(101);
+  // Paper caption: x = 101 means 118 miners in the system.
+  EXPECT_EQ(dist.support_size(), 118u);
+  EXPECT_NEAR(dist.total_power(), 100.0, 1e-9);
+}
+
+TEST(Figure1, EntropyIncreasesInResidualMiners) {
+  const auto series = figure1_entropy_series(200);
+  ASSERT_EQ(series.size(), 200u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i], series[i - 1] - 1e-12) << i;
+  }
+}
+
+TEST(Figure1, EntropyStaysBelowThreeBits) {
+  // The paper's headline observation: even with 1000 extra miners the
+  // entropy stays below 3 (an 8-replica uniform BFT system).
+  const auto series = figure1_entropy_series(1000);
+  for (const double h : series) {
+    EXPECT_LT(h, 3.0);
+  }
+  EXPECT_GT(series.back(), series.front());
+  // And the 8-replica BFT comparison point is exactly 3 bits.
+  EXPECT_DOUBLE_EQ(shannon_entropy(ConfigDistribution::uniform(8)), 3.0);
+}
+
+TEST(Figure1, SingleResidualMinerLowerBound) {
+  // x = 1: 18 configurations, H ≈ 2.83 bits — dominated by the oligopoly
+  // head, already close to its x → ∞ ceiling.
+  const double h = shannon_entropy(bitcoin_best_case_distribution(1));
+  EXPECT_GT(h, 2.7);
+  EXPECT_LT(h, 2.9);
+}
+
+TEST(Figure1, BitcoinNoMoreDiverseThanEightReplicaBft) {
+  // 2^H ≤ 8 even at 1000 residual miners: Bitcoin's effective diversity
+  // never beats an 8-replica uniform BFT system (the paper's comparison).
+  const double h = shannon_entropy(bitcoin_best_case_distribution(1000));
+  EXPECT_LT(h, 3.0);
+  EXPECT_LE(equivalent_uniform_configs(h), 8u);
+}
+
+TEST(Figure1, SeriesMatchesDirectEvaluation) {
+  const auto series = figure1_entropy_series(10);
+  for (std::size_t x = 1; x <= 10; ++x) {
+    EXPECT_NEAR(series[x - 1],
+                shannon_entropy(bitcoin_best_case_distribution(x)), 1e-12);
+  }
+}
+
+TEST(Figure1, RejectsZeroMiners) {
+  EXPECT_THROW((void)bitcoin_best_case_distribution(0),
+               support::ContractViolation);
+  EXPECT_THROW((void)figure1_entropy_series(0),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::diversity::datasets

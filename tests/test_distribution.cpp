@@ -1,0 +1,132 @@
+// ConfigDistribution: accumulation, shares, abundance, scaling.
+#include <gtest/gtest.h>
+
+#include "diversity/distribution.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+namespace {
+
+config::ConfigurationId id_of(int i) {
+  return crypto::Sha256{}
+      .update("test-config")
+      .update_u64(static_cast<std::uint64_t>(i))
+      .finish();
+}
+
+TEST(Distribution, EmptyBasics) {
+  ConfigDistribution dist;
+  EXPECT_EQ(dist.support_size(), 0u);
+  EXPECT_DOUBLE_EQ(dist.total_power(), 0.0);
+  EXPECT_EQ(dist.total_abundance(), 0u);
+  EXPECT_THROW((void)dist.shares(), support::ContractViolation);
+}
+
+TEST(Distribution, AddAccumulatesSameConfiguration) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 2.0, 1);
+  dist.add(id_of(1), 3.0, 2);
+  EXPECT_EQ(dist.support_size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.power_of(id_of(1)), 5.0);
+  EXPECT_EQ(dist.abundance_of(id_of(1)), 3u);
+  EXPECT_DOUBLE_EQ(dist.total_power(), 5.0);
+}
+
+TEST(Distribution, RejectsNegativePower) {
+  ConfigDistribution dist;
+  EXPECT_THROW(dist.add(id_of(1), -1.0), support::ContractViolation);
+}
+
+TEST(Distribution, SharesNormalizeAndSkipZeros) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 3.0);
+  dist.add(id_of(2), 0.0);
+  dist.add(id_of(3), 1.0);
+  const auto shares = dist.shares();
+  ASSERT_EQ(shares.size(), 2u);  // zero entry skipped
+  EXPECT_DOUBLE_EQ(shares[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares[1], 0.25);
+  EXPECT_EQ(dist.support_size(), 2u);
+}
+
+TEST(Distribution, ShareOfAndContains) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 1.0);
+  dist.add(id_of(2), 3.0);
+  EXPECT_TRUE(dist.contains(id_of(1)));
+  EXPECT_FALSE(dist.contains(id_of(9)));
+  EXPECT_DOUBLE_EQ(dist.share_of(id_of(2)), 0.75);
+  EXPECT_DOUBLE_EQ(dist.share_of(id_of(9)), 0.0);
+}
+
+TEST(Distribution, FromShares) {
+  const std::vector<double> shares = {0.5, 0.3, 0.2};
+  const ConfigDistribution dist = ConfigDistribution::from_shares(shares);
+  EXPECT_EQ(dist.support_size(), 3u);
+  EXPECT_NEAR(dist.total_power(), 1.0, 1e-12);
+  EXPECT_EQ(dist.entries()[1].abundance, 1u);
+}
+
+TEST(Distribution, UniformFactory) {
+  const ConfigDistribution dist = ConfigDistribution::uniform(8, 3, 16.0);
+  EXPECT_EQ(dist.support_size(), 8u);
+  EXPECT_DOUBLE_EQ(dist.total_power(), 16.0);
+  EXPECT_EQ(dist.total_abundance(), 24u);
+  for (const auto& e : dist.entries()) {
+    EXPECT_DOUBLE_EQ(e.power, 2.0);
+    EXPECT_EQ(e.abundance, 3u);
+  }
+}
+
+TEST(Distribution, UniformRejectsBadArgs) {
+  EXPECT_THROW((void)ConfigDistribution::uniform(0), support::ContractViolation);
+  EXPECT_THROW((void)ConfigDistribution::uniform(3, 0),
+               support::ContractViolation);
+  EXPECT_THROW((void)ConfigDistribution::uniform(3, 1, 0.0),
+               support::ContractViolation);
+}
+
+TEST(Distribution, SortedByPowerDescending) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 1.0);
+  dist.add(id_of(2), 5.0);
+  dist.add(id_of(3), 3.0);
+  const auto sorted = dist.sorted_by_power();
+  EXPECT_DOUBLE_EQ(sorted[0].power, 5.0);
+  EXPECT_DOUBLE_EQ(sorted[1].power, 3.0);
+  EXPECT_DOUBLE_EQ(sorted[2].power, 1.0);
+}
+
+TEST(Distribution, ScaleAdjustsPowerAndAbundance) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 2.0, 2);
+  dist.add(id_of(2), 2.0, 2);
+  dist.scale(id_of(1), 3.0, 3);
+  EXPECT_DOUBLE_EQ(dist.power_of(id_of(1)), 6.0);
+  EXPECT_EQ(dist.abundance_of(id_of(1)), 6u);
+  EXPECT_DOUBLE_EQ(dist.total_power(), 8.0);
+  EXPECT_THROW(dist.scale(id_of(9), 2.0, 2), support::ContractViolation);
+}
+
+TEST(Distribution, NormalizedSumsToOne) {
+  ConfigDistribution dist;
+  dist.add(id_of(1), 4.0, 2);
+  dist.add(id_of(2), 12.0, 5);
+  const ConfigDistribution norm = dist.normalized();
+  EXPECT_NEAR(norm.total_power(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(norm.share_of(id_of(2)), 0.75);
+  EXPECT_EQ(norm.abundance_of(id_of(1)), 2u);  // abundance preserved
+}
+
+TEST(Distribution, EntriesKeepInsertionOrder) {
+  ConfigDistribution dist;
+  dist.add(id_of(5), 1.0);
+  dist.add(id_of(3), 1.0);
+  dist.add(id_of(4), 1.0);
+  EXPECT_EQ(dist.entries()[0].id, id_of(5));
+  EXPECT_EQ(dist.entries()[1].id, id_of(3));
+  EXPECT_EQ(dist.entries()[2].id, id_of(4));
+}
+
+}  // namespace
+}  // namespace findep::diversity

@@ -1,0 +1,128 @@
+// Diversity enforcement: Lazarus-style assignment, weight caps, two-tier.
+#include <gtest/gtest.h>
+
+#include "diversity/datasets.h"
+#include "diversity/manager.h"
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "support/assert.h"
+
+namespace findep::diversity {
+namespace {
+
+TEST(Lazarus, AssignsDistinctCompleteConfigurations) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  LazarusStyleAssigner assigner(catalog);
+  const auto configs = assigner.assign(8);
+  ASSERT_EQ(configs.size(), 8u);
+  ConfigDistribution dist;
+  for (const auto& cfg : configs) {
+    EXPECT_TRUE(cfg.is_complete());
+    dist.add(cfg, 1.0);
+  }
+  EXPECT_TRUE(is_kappa_optimal(dist, 8));
+  EXPECT_NEAR(shannon_entropy(dist), 3.0, 1e-9);
+}
+
+TEST(WeightCap, NoOpWhenLoose) {
+  const ConfigDistribution dist = ConfigDistribution::from_shares(
+      std::vector<double>{0.4, 0.35, 0.25});
+  const CappedDistribution out = WeightCapPolicy(0.5).apply(dist);
+  EXPECT_NEAR(out.retained_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(shannon_entropy(out.distribution), shannon_entropy(dist),
+              1e-12);
+}
+
+TEST(WeightCap, CapRaisesEntropyAndCostsPower) {
+  const ConfigDistribution bitcoin =
+      datasets::bitcoin_best_case_distribution(100);
+  const double before = shannon_entropy(bitcoin);
+  const CappedDistribution out = WeightCapPolicy(0.05).apply(bitcoin);
+  EXPECT_GT(shannon_entropy(out.distribution), before);
+  EXPECT_LT(out.retained_fraction, 1.0);
+  EXPECT_GT(out.retained_fraction, 0.2);
+  // No configuration exceeds the cap relative to the *original* total.
+  for (const auto& e : out.distribution.entries()) {
+    EXPECT_LE(e.power, 0.05 * bitcoin.total_power() + 1e-9);
+  }
+}
+
+TEST(WeightCap, RejectsInvalidCap) {
+  EXPECT_THROW(WeightCapPolicy(0.0), support::ContractViolation);
+  EXPECT_THROW(WeightCapPolicy(1.5), support::ContractViolation);
+}
+
+TEST(WeightCap, TightestForEntropyMeetsTargetWhenFeasible) {
+  const ConfigDistribution bitcoin =
+      datasets::bitcoin_best_case_distribution(100);
+  const double target = 4.0;  // unreachable without caps (H ≈ 2.9)
+  const WeightCapPolicy policy =
+      WeightCapPolicy::tightest_for_entropy(bitcoin, target);
+  const CappedDistribution out = policy.apply(bitcoin);
+  EXPECT_GE(shannon_entropy(out.distribution), target);
+}
+
+TEST(WeightCap, TightestForEntropyFallsBackToBest) {
+  // Entropy target beyond log2(support): return the best achievable.
+  const ConfigDistribution small = ConfigDistribution::from_shares(
+      std::vector<double>{0.8, 0.2});
+  const WeightCapPolicy policy =
+      WeightCapPolicy::tightest_for_entropy(small, 10.0);
+  const CappedDistribution out = policy.apply(small);
+  EXPECT_NEAR(shannon_entropy(out.distribution), 1.0, 1e-9);
+}
+
+std::vector<ReplicaRecord> mixed_population() {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+  const auto configs = sampler.distinct_configurations(6);
+  std::vector<ReplicaRecord> population;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Half the population attested, half not.
+    population.push_back(ReplicaRecord{configs[i], 1.0, i % 2 == 0});
+  }
+  return population;
+}
+
+TEST(TwoTier, UnknownMassIsOneConfiguration) {
+  const TwoTierOutcome out = TwoTierPolicy(1.0).apply(mixed_population());
+  // 3 attested configs + 1 aggregated unknown bucket.
+  EXPECT_EQ(out.effective.support_size(), 4u);
+  EXPECT_NEAR(out.unknown_share, 0.5, 1e-12);
+}
+
+TEST(TwoTier, HigherAttestedWeightShrinksUnknownShare) {
+  const auto population = mixed_population();
+  const TwoTierOutcome w1 = TwoTierPolicy(1.0).apply(population);
+  const TwoTierOutcome w3 = TwoTierPolicy(3.0).apply(population);
+  EXPECT_LT(w3.unknown_share, w1.unknown_share);
+  EXPECT_NEAR(w3.unknown_share, 3.0 / (3.0 * 3.0 + 3.0), 1e-12);
+}
+
+TEST(TwoTier, WeightingRemovesSinglePointOfFailure) {
+  // Unknown mass holds 50% at weight 1 (breaks both thresholds); at
+  // weight 3 it holds 25% (below the BFT third? 3/(9+3)=0.25 < 1/3 ✓).
+  const auto population = mixed_population();
+  const TwoTierOutcome w1 = TwoTierPolicy(1.0).apply(population);
+  EXPECT_TRUE(w1.bft.single_point_of_failure);
+  const TwoTierOutcome w3 = TwoTierPolicy(3.0).apply(population);
+  EXPECT_FALSE(w3.bft.single_point_of_failure);
+  EXPECT_GT(w3.bft.min_faults, w1.bft.min_faults);
+}
+
+TEST(TwoTier, AllAttestedHasNoUnknownBucket) {
+  auto population = mixed_population();
+  for (auto& rec : population) rec.attested = true;
+  const TwoTierOutcome out = TwoTierPolicy(2.0).apply(population);
+  EXPECT_EQ(out.effective.support_size(), 6u);
+  EXPECT_DOUBLE_EQ(out.unknown_share, 0.0);
+}
+
+TEST(TwoTier, RejectsSubUnitWeightAndEmptyPopulation) {
+  EXPECT_THROW(TwoTierPolicy(0.5), support::ContractViolation);
+  EXPECT_THROW((void)TwoTierPolicy(1.0).apply({}),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::diversity

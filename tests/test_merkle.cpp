@@ -1,0 +1,121 @@
+// Merkle tree construction and proof verification, including the odd-node
+// promotion rule and leaf/interior domain separation.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.h"
+#include "support/assert.h"
+
+namespace findep::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256{}.update("leaf").update_u64(i).finish());
+  }
+  return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(leaves[0]));
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(MerkleTree::verify(leaves[0], tree.prove(0), tree.root()));
+}
+
+TEST(Merkle, EmptyRejected) {
+  EXPECT_THROW(MerkleTree({}), support::ContractViolation);
+}
+
+TEST(Merkle, TwoLeaves) {
+  const auto leaves = make_leaves(2);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(),
+            MerkleTree::hash_interior(MerkleTree::hash_leaf(leaves[0]),
+                                      MerkleTree::hash_leaf(leaves[1])));
+}
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], tree.prove(i), tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleSizes, WrongLeafFailsEveryPosition) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  const Digest impostor = sha256("impostor");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(MerkleTree::verify(impostor, tree.prove(i), tree.root()));
+  }
+}
+
+TEST_P(MerkleSizes, ProofForWrongPositionFails) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  // leaf 0's data with leaf 1's proof must not verify.
+  EXPECT_FALSE(MerkleTree::verify(leaves[0], tree.prove(1), tree.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 64, 100, 255));
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Digest original = MerkleTree(leaves).root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = sha256("mutated");
+    EXPECT_NE(MerkleTree(mutated).root(), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Digest original = MerkleTree(leaves).root();
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(MerkleTree(leaves).root(), original);
+}
+
+TEST(Merkle, DomainSeparationLeafVsInterior) {
+  // An interior hash value used as a leaf must hash differently.
+  const auto leaves = make_leaves(2);
+  const Digest left = MerkleTree::hash_leaf(leaves[0]);
+  const Digest right = MerkleTree::hash_leaf(leaves[1]);
+  const Digest interior = MerkleTree::hash_interior(left, right);
+  EXPECT_NE(MerkleTree::hash_leaf(interior), interior);
+}
+
+TEST(Merkle, ProveOutOfRangeRejected) {
+  MerkleTree tree(make_leaves(3));
+  EXPECT_THROW((void)tree.prove(3), support::ContractViolation);
+}
+
+TEST(Merkle, ProofLengthIsLogarithmic) {
+  MerkleTree tree(make_leaves(256));
+  EXPECT_EQ(tree.prove(0).size(), 8u);
+}
+
+TEST(Merkle, OddPromotionProofShorterOnRightEdge) {
+  // With 5 leaves the last leaf is promoted through several levels and
+  // needs fewer siblings.
+  const auto leaves = make_leaves(5);
+  MerkleTree tree(leaves);
+  EXPECT_LT(tree.prove(4).size(), tree.prove(0).size());
+  EXPECT_TRUE(MerkleTree::verify(leaves[4], tree.prove(4), tree.root()));
+}
+
+}  // namespace
+}  // namespace findep::crypto

@@ -1,0 +1,156 @@
+// Entropy and diversity metrics: identities, bounds, and property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::diversity {
+namespace {
+
+TEST(Entropy, UniformIsLog2K) {
+  for (std::size_t k : {1u, 2u, 4u, 8u, 32u, 100u}) {
+    const std::vector<double> p(k, 1.0 / static_cast<double>(k));
+    EXPECT_NEAR(shannon_entropy(p), std::log2(static_cast<double>(k)), 1e-12)
+        << k;
+  }
+}
+
+TEST(Entropy, EightUniformReplicasGiveThreeBits) {
+  // The Example-1 comparison point: BFT with 8 replicas, H = 3.
+  const std::vector<double> p(8, 0.125);
+  EXPECT_DOUBLE_EQ(shannon_entropy(p), 3.0);
+}
+
+TEST(Entropy, PointMassIsZero) {
+  const std::vector<double> p = {1.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(p), 0.0);
+  const std::vector<double> q = {0.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(q), 0.0);
+}
+
+TEST(Entropy, ZeroEntriesDoNotContribute) {
+  const std::vector<double> with = {0.5, 0.5, 0.0, 0.0};
+  const std::vector<double> without = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(shannon_entropy(with), shannon_entropy(without));
+}
+
+TEST(Entropy, ScaleInvariant) {
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  std::vector<double> scaled = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(shannon_entropy(p), shannon_entropy(scaled), 1e-12);
+}
+
+TEST(Entropy, RejectsInvalidInput) {
+  EXPECT_THROW((void)shannon_entropy(std::vector<double>{}),
+               support::ContractViolation);
+  EXPECT_THROW((void)shannon_entropy(std::vector<double>{-1.0, 2.0}),
+               support::ContractViolation);
+  EXPECT_THROW((void)shannon_entropy(std::vector<double>{0.0, 0.0}),
+               support::ContractViolation);
+}
+
+class EntropyBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EntropyBounds, RandomDistributionsStayInBounds) {
+  support::Rng rng(GetParam());
+  const std::size_t k = 1 + rng.below(64);
+  std::vector<double> p(k);
+  for (auto& x : p) x = rng.uniform(0.001, 1.0);
+  const double h = shannon_entropy(p);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, std::log2(static_cast<double>(k)) + 1e-9);
+  // KL to uniform is the exact gap.
+  EXPECT_NEAR(kl_from_uniform(p),
+              std::log2(static_cast<double>(k)) - h, 1e-9);
+  EXPECT_GE(kl_from_uniform(p), -1e-12);
+}
+
+TEST_P(EntropyBounds, MergingTwoConfigsNeverRaisesEntropy) {
+  // Coarsening a partition cannot increase Shannon entropy.
+  support::Rng rng(GetParam() ^ 0xabcd);
+  const std::size_t k = 2 + rng.below(32);
+  std::vector<double> p(k);
+  for (auto& x : p) x = rng.uniform(0.001, 1.0);
+  std::vector<double> merged(p.begin() + 1, p.end());
+  merged[0] += p[0];
+  EXPECT_LE(shannon_entropy(merged), shannon_entropy(p) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyBounds,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Evenness, UniformIsOneSkewedLess) {
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(evenness(uniform), 1.0, 1e-12);
+  const std::vector<double> skewed = {0.7, 0.1, 0.1, 0.1};
+  EXPECT_LT(evenness(skewed), 1.0);
+  const std::vector<double> single = {1.0};
+  EXPECT_DOUBLE_EQ(evenness(single), 1.0);
+}
+
+TEST(Renyi, CollapsesToShannonAtOne) {
+  const std::vector<double> p = {0.5, 0.25, 0.25};
+  EXPECT_NEAR(renyi_entropy(p, 1.0), shannon_entropy(p), 1e-12);
+}
+
+TEST(Renyi, OrderZeroIsLogSupport) {
+  const std::vector<double> p = {0.9, 0.05, 0.05, 0.0};
+  EXPECT_NEAR(renyi_entropy(p, 0.0), std::log2(3.0), 1e-12);
+}
+
+TEST(Renyi, NonIncreasingInAlpha) {
+  const std::vector<double> p = {0.6, 0.2, 0.1, 0.1};
+  double prev = renyi_entropy(p, 0.0);
+  for (double alpha : {0.5, 1.0, 1.5, 2.0, 4.0, 16.0}) {
+    const double h = renyi_entropy(p, alpha);
+    EXPECT_LE(h, prev + 1e-9) << alpha;
+    prev = h;
+  }
+}
+
+TEST(Hill, EffectiveNumbers) {
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(hill_number(uniform, 0.0), 4.0, 1e-9);
+  EXPECT_NEAR(hill_number(uniform, 1.0), 4.0, 1e-9);
+  EXPECT_NEAR(hill_number(uniform, 2.0), 4.0, 1e-9);
+
+  const std::vector<double> skewed = {0.97, 0.01, 0.01, 0.01};
+  EXPECT_NEAR(hill_number(skewed, 0.0), 4.0, 1e-9);
+  EXPECT_LT(hill_number(skewed, 1.0), 1.3);  // effectively ~1 config
+}
+
+TEST(Simpson, ConcentrationAndComplement) {
+  const std::vector<double> p = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(simpson_index(p), 0.5);
+  EXPECT_DOUBLE_EQ(gini_simpson(p), 0.5);
+  const std::vector<double> mono = {1.0};
+  EXPECT_DOUBLE_EQ(simpson_index(mono), 1.0);
+  EXPECT_DOUBLE_EQ(gini_simpson(mono), 0.0);
+}
+
+TEST(Simpson, HillTwoIsInverseSimpson) {
+  const std::vector<double> p = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_NEAR(hill_number(p, 2.0), 1.0 / simpson_index(p), 1e-9);
+}
+
+TEST(BergerParker, LargestShare) {
+  const std::vector<double> p = {3.0, 1.0, 6.0};
+  EXPECT_DOUBLE_EQ(berger_parker(p), 0.6);
+}
+
+TEST(Metrics, DistributionOverloadsAgreeWithSpans) {
+  ConfigDistribution dist = ConfigDistribution::from_shares(
+      std::vector<double>{0.4, 0.35, 0.25});
+  const auto shares = dist.shares();
+  EXPECT_NEAR(shannon_entropy(dist), shannon_entropy(shares), 1e-12);
+  EXPECT_NEAR(evenness(dist), evenness(shares), 1e-12);
+  EXPECT_NEAR(hill_number(dist, 2.0), hill_number(shares, 2.0), 1e-12);
+  EXPECT_NEAR(berger_parker(dist), berger_parker(shares), 1e-12);
+  EXPECT_NEAR(kl_from_uniform(dist), kl_from_uniform(shares), 1e-12);
+}
+
+}  // namespace
+}  // namespace findep::diversity

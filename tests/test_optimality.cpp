@@ -1,0 +1,105 @@
+// Definitions 1 and 2 as predicates: the iff conditions and gap metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::diversity {
+namespace {
+
+TEST(Definition1, UniformSupportIsKappaOptimal) {
+  const std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_TRUE(is_kappa_optimal(p, 4));
+  EXPECT_FALSE(is_kappa_optimal(p, 3));
+  EXPECT_FALSE(is_kappa_optimal(p, 5));
+}
+
+TEST(Definition1, ZeroEntriesExcludedFromSupport) {
+  const std::vector<double> p = {0.5, 0.0, 0.5, 0.0};
+  EXPECT_TRUE(is_kappa_optimal(p, 2));
+  EXPECT_FALSE(is_kappa_optimal(p, 4));
+}
+
+TEST(Definition1, NonUniformFails) {
+  const std::vector<double> p = {0.4, 0.3, 0.3};
+  EXPECT_FALSE(is_kappa_optimal(p, 3));
+}
+
+TEST(Definition1, ToleranceAbsorbsFloatNoise) {
+  const std::vector<double> p = {1.0 / 3.0, 1.0 / 3.0,
+                                 1.0 - 2.0 / 3.0};
+  EXPECT_TRUE(is_kappa_optimal(p, 3));
+}
+
+TEST(Definition1, UnnormalizedWeightsWork) {
+  const std::vector<double> p = {5.0, 5.0, 5.0};
+  EXPECT_TRUE(is_kappa_optimal(p, 3));
+}
+
+TEST(Definition1, KappaOptimalIffEntropyIsMaximal) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = 2 + rng.below(16);
+    std::vector<double> p(k);
+    for (auto& x : p) x = rng.uniform(0.01, 1.0);
+    const bool optimal = is_kappa_optimal(p, k, 1e-12);
+    const double gap =
+        std::log2(static_cast<double>(k)) - shannon_entropy(p);
+    // Entropy is maximal exactly at the uniform distribution.
+    EXPECT_EQ(optimal, gap < 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Definition1, DistributionOverload) {
+  EXPECT_TRUE(is_kappa_optimal(ConfigDistribution::uniform(6), 6));
+  ConfigDistribution skew = ConfigDistribution::from_shares(
+      std::vector<double>{0.6, 0.4});
+  EXPECT_FALSE(is_kappa_optimal(skew, 2));
+  EXPECT_EQ(kappa_of(skew), 2u);
+}
+
+TEST(Definition2, RequiresUniformAbundance) {
+  ConfigDistribution dist = ConfigDistribution::uniform(4, 3);
+  EXPECT_TRUE(is_kappa_omega_optimal(dist, 4, 3));
+  EXPECT_FALSE(is_kappa_omega_optimal(dist, 4, 2));
+
+  // Break one configuration's abundance (power unchanged).
+  dist.scale(dist.entries()[0].id, 1.0, 2);
+  EXPECT_FALSE(is_kappa_omega_optimal(dist, 4, 3));
+  // Power still uniform, so Definition 1 still holds.
+  EXPECT_TRUE(is_kappa_optimal(dist, 4));
+}
+
+TEST(MaxEntropy, Log2Kappa) {
+  EXPECT_DOUBLE_EQ(max_entropy_bits(1), 0.0);
+  EXPECT_DOUBLE_EQ(max_entropy_bits(8), 3.0);
+  EXPECT_THROW((void)max_entropy_bits(0), support::ContractViolation);
+}
+
+TEST(OptimalityGap, ZeroForUniformPositiveOtherwise) {
+  EXPECT_NEAR(optimality_gap_bits(ConfigDistribution::uniform(8)), 0.0,
+              1e-12);
+  const ConfigDistribution skew = ConfigDistribution::from_shares(
+      std::vector<double>{0.9, 0.05, 0.05});
+  EXPECT_GT(optimality_gap_bits(skew), 0.5);
+}
+
+TEST(EquivalentUniformConfigs, CeilOfTwoToH) {
+  EXPECT_EQ(equivalent_uniform_configs(0.0), 1u);
+  EXPECT_EQ(equivalent_uniform_configs(3.0), 8u);
+  EXPECT_EQ(equivalent_uniform_configs(3.1), 9u);
+  EXPECT_EQ(equivalent_uniform_configs(1.0), 2u);
+}
+
+TEST(EquivalentUniformConfigs, InverseOfMaxEntropy) {
+  for (std::size_t k : {1u, 2u, 5u, 8u, 17u, 100u}) {
+    EXPECT_EQ(equivalent_uniform_configs(max_entropy_bits(k)), k);
+  }
+}
+
+}  // namespace
+}  // namespace findep::diversity

@@ -1,0 +1,152 @@
+// Cross-cutting property sweeps over the diversity core: invariants that
+// must hold for *every* distribution, checked over randomized inputs
+// (TEST_P over seeds). These complement the example-based tests with the
+// algebraic structure the paper's definitions rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/sampler.h"
+#include "diversity/manager.h"
+#include "diversity/metrics.h"
+#include "diversity/optimality.h"
+#include "diversity/resilience.h"
+#include "support/rng.h"
+
+namespace findep::diversity {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  support::Rng rng_{GetParam() * 0x9e3779b97f4a7c15ULL + 1};
+
+  std::vector<double> random_weights(std::size_t min_k = 2,
+                                     std::size_t max_k = 40) {
+    const std::size_t k =
+        min_k + rng_.below(max_k - min_k + 1);
+    std::vector<double> w(k);
+    for (auto& x : w) x = rng_.uniform(0.001, 1.0);
+    return w;
+  }
+};
+
+TEST_P(PropertySweep, HillNumbersAreNonIncreasingInOrder) {
+  const auto w = random_weights();
+  double prev = hill_number(w, 0.0);
+  for (const double q : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double h = hill_number(w, q);
+    EXPECT_LE(h, prev * (1.0 + 1e-9));
+    EXPECT_GE(h, 1.0 - 1e-9);  // at least one effective configuration
+    prev = h;
+  }
+}
+
+TEST_P(PropertySweep, HillInfinityApproachesInverseDominance) {
+  const auto w = random_weights();
+  // ^∞D = 1 / max p_i; order 64 is a tight stand-in.
+  EXPECT_NEAR(hill_number(w, 64.0), 1.0 / berger_parker(w),
+              0.35 / berger_parker(w));
+}
+
+TEST_P(PropertySweep, EntropyBoundsBergerParker) {
+  // H ≥ −log2(max p_i) is false in general, but H ≤ log2(1/p_max) + ...
+  // The always-true direction: H(p) ≥ log2(1 / Σp_i²) ≥ log2(1/p_max)
+  // fails too; the valid chain is Rényi ordering: H ≥ H_2 ≥ H_∞.
+  const auto w = random_weights();
+  const double h = shannon_entropy(w);
+  const double h2 = renyi_entropy(w, 2.0);
+  const double h_inf = -std::log2(berger_parker(w));
+  EXPECT_GE(h, h2 - 1e-9);
+  EXPECT_GE(h2, h_inf - 1e-9);
+}
+
+TEST_P(PropertySweep, WorstCaseCompromiseIsConcaveInJ) {
+  // Adding the j-th largest share gains no more than the (j-1)-th did.
+  const auto w = random_weights();
+  double prev_gain = 1.1;
+  double prev = 0.0;
+  for (std::size_t j = 1; j <= w.size(); ++j) {
+    const double now = worst_case_compromise(w, j);
+    const double gain = now - prev;
+    EXPECT_LE(gain, prev_gain + 1e-9) << j;
+    prev_gain = gain;
+    prev = now;
+  }
+}
+
+TEST_P(PropertySweep, MinFaultsConsistentWithWorstCase) {
+  // j* = min_faults_to_exceed(τ) iff worst_case(j*−1) ≤ τ < worst_case(j*).
+  const auto w = random_weights();
+  for (const double tau : {0.1, kBftThreshold, kNakamotoThreshold, 0.9}) {
+    const std::size_t j = min_faults_to_exceed(w, tau);
+    if (j <= w.size()) {
+      EXPECT_GT(worst_case_compromise(w, j), tau);
+    }
+    if (j > 1 && j - 1 <= w.size()) {
+      EXPECT_LE(worst_case_compromise(w, j - 1), tau + 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertySweep, CappingNeverLowersEntropyOrResilience) {
+  const auto w = random_weights();
+  const ConfigDistribution dist = ConfigDistribution::from_shares(w);
+  const double cap = rng_.uniform(0.05, 1.0);
+  const CappedDistribution capped = WeightCapPolicy(cap).apply(dist);
+  EXPECT_GE(shannon_entropy(capped.distribution),
+            shannon_entropy(dist) - 1e-9);
+  EXPECT_GE(min_faults_to_exceed(capped.distribution, kBftThreshold),
+            min_faults_to_exceed(dist, kBftThreshold));
+  EXPECT_LE(capped.retained_fraction, 1.0 + 1e-12);
+  EXPECT_GT(capped.retained_fraction, 0.0);
+}
+
+TEST_P(PropertySweep, EquivalentUniformConfigsIsMonotone) {
+  const auto a = random_weights();
+  const auto b = random_weights();
+  const double ha = shannon_entropy(a);
+  const double hb = shannon_entropy(b);
+  if (ha <= hb) {
+    EXPECT_LE(equivalent_uniform_configs(ha),
+              equivalent_uniform_configs(hb));
+  } else {
+    EXPECT_GE(equivalent_uniform_configs(ha),
+              equivalent_uniform_configs(hb));
+  }
+}
+
+TEST_P(PropertySweep, TwoTierUnknownShareMonotoneInAlpha) {
+  // Random mixed population: raising α never raises the unknown share and
+  // never lowers min_faults.
+  const std::size_t n = 6 + rng_.below(20);
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+  const auto configs = sampler.distinct_configurations(n);
+  std::vector<ReplicaRecord> population;
+  for (std::size_t i = 0; i < n; ++i) {
+    ReplicaRecord rec;
+    rec.configuration = configs[i];
+    rec.power = rng_.uniform(0.5, 2.0);
+    rec.attested = rng_.chance(0.6);
+    population.push_back(rec);
+  }
+  // Ensure at least one of each tier so both branches exist.
+  population[0].attested = true;
+  population[1].attested = false;
+
+  double prev_unknown = 1.1;
+  std::size_t prev_faults = 0;
+  for (const double alpha : {1.0, 2.0, 4.0, 8.0}) {
+    const TwoTierOutcome out = TwoTierPolicy(alpha).apply(population);
+    EXPECT_LE(out.unknown_share, prev_unknown + 1e-9);
+    EXPECT_GE(out.bft.min_faults + 1, prev_faults);  // non-decreasing ±1
+    prev_unknown = out.unknown_share;
+    prev_faults = out.bft.min_faults;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace findep::diversity

@@ -1,0 +1,158 @@
+// Propositions 1–3 verified over parameter sweeps (the paper states them
+// informally; these tests are the executable versions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diversity/metrics.h"
+#include "diversity/propositions.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::diversity {
+namespace {
+
+TEST(Prop1, UniformGrowthPreservesEntropy) {
+  const ConfigDistribution base = ConfigDistribution::uniform(8);
+  const std::vector<double> growth(8, 3.0);
+  const Prop1Result r = check_proposition1(base, growth);
+  EXPECT_TRUE(r.relative_abundance_preserved);
+  EXPECT_NEAR(r.entropy_after, r.entropy_before, 1e-9);
+  EXPECT_TRUE(r.holds());
+}
+
+TEST(Prop1, SkewedGrowthStrictlyDecreasesEntropy) {
+  const ConfigDistribution base = ConfigDistribution::uniform(8);
+  std::vector<double> growth(8, 1.0);
+  growth[0] = 10.0;  // one configuration balloons
+  const Prop1Result r = check_proposition1(base, growth);
+  EXPECT_FALSE(r.relative_abundance_preserved);
+  EXPECT_LT(r.entropy_after, r.entropy_before);
+  EXPECT_TRUE(r.holds());
+}
+
+TEST(Prop1, RequiresKappaOptimalStart) {
+  const ConfigDistribution skewed = ConfigDistribution::from_shares(
+      std::vector<double>{0.7, 0.3});
+  EXPECT_THROW(
+      (void)check_proposition1(skewed, std::vector<double>{1.0, 2.0}),
+      support::ContractViolation);
+}
+
+TEST(Prop1, RejectsShrinkingGrowth) {
+  const ConfigDistribution base = ConfigDistribution::uniform(4);
+  EXPECT_THROW((void)check_proposition1(
+                   base, std::vector<double>{1.0, 1.0, 1.0, 0.5}),
+               support::ContractViolation);
+}
+
+class Prop1Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Prop1Sweep, HoldsForRandomGrowthVectors) {
+  support::Rng rng(GetParam());
+  const std::size_t k = 2 + rng.below(24);
+  const ConfigDistribution base = ConfigDistribution::uniform(k);
+  std::vector<double> growth(k);
+  for (auto& g : growth) g = 1.0 + rng.uniform(0.0, 9.0);
+  const Prop1Result r = check_proposition1(base, growth);
+  EXPECT_TRUE(r.holds()) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop1Sweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Prop2, DustReplicasBarelyMoveEntropy) {
+  // 17-config oligopoly plus 100 dust configs: entropy gap to the new
+  // optimum stays large — "more replicas ≠ more resilience".
+  const ConfigDistribution base = ConfigDistribution::from_shares(
+      std::vector<double>{0.35, 0.20, 0.13, 0.11, 0.09, 0.03, 0.02, 0.02,
+                          0.01, 0.01, 0.01, 0.01, 0.01});
+  const std::vector<double> dust(100, 0.0087 / 100.0);
+  const Prop2Result r = check_proposition2(base, dust);
+  EXPECT_LT(r.entropy_after - r.entropy_before, 0.2);
+  EXPECT_GT(r.max_entropy_after, 6.0);  // log2(113) ≈ 6.8
+  EXPECT_GT(r.gap_after(), 3.0);        // far from optimal
+}
+
+TEST(Prop2, UniformExtensionReachesOptimum) {
+  // If relative abundances stay identical (all uniform), more replicas DO
+  // help — the proposition's "unless" clause.
+  const ConfigDistribution base = ConfigDistribution::uniform(4);
+  // Add 4 more configs, each at 1/8 of the new total; old ones shrink to
+  // 1/8 as well.
+  const std::vector<double> added(4, 1.0 / 8.0);
+  const Prop2Result r = check_proposition2(base, added);
+  EXPECT_NEAR(r.entropy_after, 3.0, 1e-9);
+  EXPECT_NEAR(r.gap_after(), 0.0, 1e-9);
+  EXPECT_GT(r.entropy_after, r.entropy_before);
+}
+
+TEST(Prop2, RejectsOverfullAddedShares) {
+  const ConfigDistribution base = ConfigDistribution::uniform(2);
+  EXPECT_THROW(
+      (void)check_proposition2(base, std::vector<double>{0.6, 0.6}),
+      support::ContractViolation);
+}
+
+class Prop2Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Prop2Sweep, EntropyNeverExceedsLog2K) {
+  support::Rng rng(GetParam());
+  const std::size_t k = 2 + rng.below(16);
+  std::vector<double> shares(k);
+  for (auto& s : shares) s = rng.uniform(0.01, 1.0);
+  const ConfigDistribution base = ConfigDistribution::from_shares(shares);
+  const std::size_t extra = 1 + rng.below(32);
+  std::vector<double> added(extra);
+  double budget = 0.5;
+  for (auto& a : added) {
+    a = rng.uniform(0.0, budget / static_cast<double>(extra));
+  }
+  const Prop2Result r = check_proposition2(base, added);
+  EXPECT_LE(r.entropy_after, r.max_entropy_after + 1e-9);
+  EXPECT_GE(r.gap_after(), -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop2Sweep,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Prop3, OperatorFractionShrinksWithOmega) {
+  const Prop3Result w1 = analyze_proposition3(10, 1);
+  const Prop3Result w4 = analyze_proposition3(10, 4);
+  EXPECT_DOUBLE_EQ(w1.operator_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(w4.operator_fraction, 0.025);
+  // Vulnerability compromise does not improve with abundance.
+  EXPECT_DOUBLE_EQ(w1.vulnerability_fraction, w4.vulnerability_fraction);
+}
+
+TEST(Prop3, MessageCostGrowsQuadratically) {
+  const Prop3Result a = analyze_proposition3(8, 1);
+  const Prop3Result b = analyze_proposition3(8, 2);
+  EXPECT_DOUBLE_EQ(b.relative_message_cost / a.relative_message_cost, 4.0);
+}
+
+TEST(Prop3, RejectsZeroArguments) {
+  EXPECT_THROW((void)analyze_proposition3(0, 1),
+               support::ContractViolation);
+  EXPECT_THROW((void)analyze_proposition3(1, 0),
+               support::ContractViolation);
+}
+
+class Prop3Sweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(Prop3Sweep, OperatorAdvantageIsExactlyOmega) {
+  const auto [kappa, omega] = GetParam();
+  const Prop3Result r = analyze_proposition3(kappa, omega);
+  EXPECT_NEAR(r.vulnerability_fraction / r.operator_fraction,
+              static_cast<double>(omega), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Prop3Sweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 8, 16, 32),
+                       ::testing::Values<std::size_t>(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace findep::diversity

@@ -1,0 +1,111 @@
+// Resilience order statistics: worst-case compromise and fault counting.
+#include <gtest/gtest.h>
+
+#include "diversity/datasets.h"
+#include "diversity/resilience.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::diversity {
+namespace {
+
+TEST(WorstCase, SumsTopShares) {
+  const std::vector<double> p = {0.4, 0.1, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(worst_case_compromise(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(worst_case_compromise(p, 1), 0.4);
+  EXPECT_DOUBLE_EQ(worst_case_compromise(p, 2), 0.7);
+  EXPECT_NEAR(worst_case_compromise(p, 4), 1.0, 1e-12);
+  EXPECT_NEAR(worst_case_compromise(p, 10), 1.0, 1e-12);  // clamped
+}
+
+TEST(WorstCase, MonotoneInJ) {
+  support::Rng rng(3);
+  std::vector<double> p(20);
+  for (auto& x : p) x = rng.uniform(0.0, 1.0);
+  p[3] = 0.0;  // zero entries are fine
+  double prev = 0.0;
+  for (std::size_t j = 0; j <= p.size(); ++j) {
+    const double w = worst_case_compromise(p, j);
+    EXPECT_GE(w, prev - 1e-12);
+    prev = w;
+  }
+}
+
+TEST(MinFaults, UniformMatchesClosedForm) {
+  // κ-optimal with κ configs: breaking threshold τ needs ⌊κτ⌋+1 faults.
+  for (std::size_t k : {3u, 4u, 9u, 10u, 30u}) {
+    const std::vector<double> p(k, 1.0 / static_cast<double>(k));
+    EXPECT_EQ(min_faults_to_exceed(p, kBftThreshold),
+              static_cast<std::size_t>(static_cast<double>(k) / 3.0) + 1)
+        << k;
+    EXPECT_EQ(min_faults_to_exceed(p, kNakamotoThreshold), k / 2 + 1) << k;
+  }
+}
+
+TEST(MinFaults, OligopolyBreaksWithOne) {
+  const std::vector<double> p = {0.6, 0.2, 0.2};
+  EXPECT_EQ(min_faults_to_exceed(p, kNakamotoThreshold), 1u);
+  EXPECT_EQ(min_faults_to_exceed(p, kBftThreshold), 1u);
+}
+
+TEST(MinFaults, UnreachableThreshold) {
+  const std::vector<double> p = {0.5, 0.5};
+  EXPECT_EQ(min_faults_to_exceed(p, 1.0), 3u);  // support + 1
+}
+
+TEST(MinFaults, Example1BitcoinNumbers) {
+  // With the paper's pool distribution: Foundry (34.2%) alone breaks the
+  // BFT third; the top-2 (54.2%) break the honest majority.
+  const ConfigDistribution bitcoin =
+      datasets::bitcoin_best_case_distribution(100);
+  EXPECT_EQ(min_faults_to_exceed(bitcoin, kBftThreshold), 1u);
+  EXPECT_EQ(min_faults_to_exceed(bitcoin, kNakamotoThreshold), 2u);
+}
+
+TEST(SafetyMargin, SignsMatchCompromise) {
+  const ConfigDistribution uniform = ConfigDistribution::uniform(9);
+  EXPECT_GT(safety_margin(uniform, 2, kBftThreshold), 0.0);   // 2/9 < 1/3
+  EXPECT_LT(safety_margin(uniform, 4, kBftThreshold), 0.0);   // 4/9 > 1/3
+}
+
+TEST(Summary, FieldsCoherent) {
+  const ConfigDistribution skew = ConfigDistribution::from_shares(
+      std::vector<double>{0.45, 0.3, 0.25});
+  const ResilienceSummary s = summarize_resilience(skew, kBftThreshold);
+  EXPECT_DOUBLE_EQ(s.threshold, kBftThreshold);
+  EXPECT_EQ(s.support, 3u);
+  EXPECT_EQ(s.min_faults, 1u);
+  EXPECT_DOUBLE_EQ(s.single_fault_power, 0.45);
+  EXPECT_TRUE(s.single_point_of_failure);
+
+  const ResilienceSummary u =
+      summarize_resilience(ConfigDistribution::uniform(10), kBftThreshold);
+  EXPECT_FALSE(u.single_point_of_failure);
+  EXPECT_EQ(u.min_faults, 4u);
+}
+
+TEST(Resilience, MoreUniformNeverNeedsFewerFaults) {
+  // Property: the uniform distribution maximizes min_faults among all
+  // distributions with the same support.
+  support::Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 3 + rng.below(20);
+    std::vector<double> p(k);
+    for (auto& x : p) x = rng.uniform(0.01, 1.0);
+    const std::vector<double> uniform(k, 1.0);
+    EXPECT_GE(min_faults_to_exceed(uniform, kBftThreshold),
+              min_faults_to_exceed(p, kBftThreshold))
+        << "trial " << trial;
+  }
+}
+
+TEST(Resilience, RejectsEmptyOrZero) {
+  EXPECT_THROW((void)worst_case_compromise(std::vector<double>{}, 1),
+               support::ContractViolation);
+  EXPECT_THROW(
+      (void)min_faults_to_exceed(std::vector<double>{0.0, 0.0}, 0.3),
+      support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::diversity

@@ -1,0 +1,166 @@
+// Unit tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "support/assert.h"
+
+namespace findep::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroWithNoEvents) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.has_pending());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), support::ContractViolation);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}),
+               support::ContractViolation);
+}
+
+TEST(Simulator, RejectsNullCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), support::ContractViolation);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, PendingCountTracksCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(sim.has_pending());
+  EXPECT_EQ(sim.run_until(10.0), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(42.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, RunWithEventBudget) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(static_cast<double>(i + 1), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.run(), 3u);
+}
+
+TEST(Simulator, CascadingEventsRunToCompletion) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    if (++depth < 100) sim.schedule_after(0.001, cascade);
+  };
+  sim.schedule_after(0.0, cascade);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed_count(), 100u);
+}
+
+TEST(Simulator, ZeroDelaySelfScheduleAtSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_after(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  // The nested zero-delay event runs after the already-queued peer.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, RunUntilKeepsTieOrderAcrossRequeue) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.run_until(4.0);  // forces a pop + requeue of the 5.0 event
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace findep::sim
