@@ -1,80 +1,22 @@
-// ATT — configuration-discovery cost (§III-B): wall-clock cost of the
-// challenge–quote–verify–admit pipeline per replica, Merkle publication
-// cost, and auditor reconstruction, at growing registry sizes.
+// ATT — configuration-discovery cost (§III-B): the challenge–quote–
+// verify–admit pipeline run *over the simulated network* at growing
+// registry sizes, metering admission outcomes, per-join traffic,
+// sim-time latency under churn, and the entropy of the auditor's
+// reconstructed distribution.
 //
-// Expected shape: per-replica admission cost is flat (O(1) hashes and
-// signature checks); Merkle root and reconstruction grow linearly.
-#include <chrono>
-#include <iostream>
+// Expected shape: per-replica admission cost is flat (two round-trips,
+// O(1) verification); entropy grows with the population.
+#include "runtime/suite.h"
+#include "scenarios/attestation_churn.h"
 
-#include "attest/registry.h"
-#include "config/sampler.h"
-#include "diversity/metrics.h"
-#include "support/table.h"
+int main(int argc, char** argv) {
+  using findep::scenarios::AttestationChurnScenario;
 
-int main() {
-  using namespace findep;
-  using Clock = std::chrono::steady_clock;
-  const auto ms_since = [](Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
-
-  support::print_banner(std::cout,
-                        "Attestation pipeline cost vs registry size");
-
-  support::Table table({"replicas", "admit total (ms)", "admit per replica (us)",
-                        "merkle root (ms)", "reconstruct (ms)",
-                        "H of reconstruction"});
+  findep::runtime::ScenarioSuite suite(
+      "Attestation pipeline over the network vs registry size");
   for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
-    crypto::KeyRegistry keys;
-    support::Rng rng(n);
-    const config::ComponentCatalog catalog = config::standard_catalog();
-    attest::AttestationAuthority authority(keys, rng);
-    attest::AttestationRegistry registry(keys, authority.root_key());
-    config::ConfigurationSampler sampler(
-        catalog, config::SamplerOptions{.zipf_exponent = 0.8,
-                                        .attestable_fraction = 1.0});
-
-    std::vector<attest::PlatformModule> platforms;
-    platforms.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto cfg = sampler.sample(rng);
-      const auto hw =
-          cfg.component(config::ComponentKind::kTrustedHardware);
-      platforms.emplace_back(keys, rng, authority, *hw, cfg);
-    }
-
-    const auto admit_start = Clock::now();
-    for (auto& platform : platforms) {
-      if (!registry.admit(platform.quote(registry.challenge()), 1.0)) {
-        std::cerr << "admission unexpectedly failed\n";
-        return 1;
-      }
-    }
-    const double admit_ms = ms_since(admit_start);
-
-    const auto merkle_start = Clock::now();
-    const crypto::Digest root = registry.merkle_root();
-    const double merkle_ms = ms_since(merkle_start);
-    (void)root;
-
-    std::unordered_map<crypto::PublicKey, attest::CommitmentOpening>
-        openings;
-    for (const auto& platform : platforms) {
-      openings[platform.vote_key()] = platform.open_commitment();
-    }
-    const auto recon_start = Clock::now();
-    const auto dist = registry.reconstruct_distribution(openings);
-    const double recon_ms = ms_since(recon_start);
-
-    table.add(n, admit_ms, admit_ms * 1000.0 / static_cast<double>(n),
-              merkle_ms, recon_ms, diversity::shannon_entropy(dist));
+    suite.emplace<AttestationChurnScenario>(
+        AttestationChurnScenario::Params{.replicas = n});
   }
-  table.print(std::cout);
-
-  std::cout << "\npaper check: remote-attestation-based configuration "
-               "discovery costs O(1) per joining replica — practical for "
-               "permissionless churn.\n";
-  return 0;
+  return suite.run_main(argc, argv);
 }

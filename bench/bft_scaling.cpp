@@ -7,92 +7,31 @@
 // Expected shape: latency grows mildly with n (more quorum stragglers);
 // messages per request grow quadratically; a silent minority slows
 // nothing fundamentally, while a silent primary costs a view change.
-#include <iostream>
+//
+// All setup/run/aggregate plumbing lives in the runtime harness; every
+// row below is one Scenario instance swept across --seeds seeds.
+#include "runtime/suite.h"
+#include "scenarios/bft_scaling.h"
 
-#include "bft/cluster.h"
-#include "support/table.h"
+int main(int argc, char** argv) {
+  using findep::bft::Behavior;
+  using findep::scenarios::BftScalingScenario;
 
-namespace {
-
-struct RunResult {
-  double latency_ms = 0.0;
-  std::uint64_t messages_per_request = 0;
-  std::uint64_t kilobytes_per_request = 0;
-  std::uint64_t view_changes = 0;
-  bool completed = false;
-};
-
-RunResult run_cluster(std::size_t n, std::vector<findep::bft::Behavior>
-                                         behaviors,
-                      int requests = 5) {
-  using namespace findep::bft;
-  ClusterOptions opt;
-  opt.seed = 40 + n;
-  BftCluster cluster(n, opt, std::move(behaviors));
-  for (int i = 0; i < requests; ++i) cluster.submit();
-  RunResult out;
-  out.completed = cluster.run_until_executed(
-      static_cast<std::size_t>(requests), 240.0);
-  if (out.completed) {
-    out.latency_ms = cluster.mean_latency() * 1000.0;
+  findep::runtime::ScenarioSuite suite(
+      "PBFT scaling: cluster sizes and fault mixes");
+  for (const std::size_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
+    suite.emplace<BftScalingScenario>(BftScalingScenario::Params{.n = n});
   }
-  const auto& stats = cluster.network().stats();
-  out.messages_per_request =
-      stats.messages_sent / static_cast<std::uint64_t>(requests);
-  out.kilobytes_per_request =
-      stats.bytes_sent / 1024 / static_cast<std::uint64_t>(requests);
-  for (std::size_t i = 0; i < cluster.size(); ++i) {
-    out.view_changes = std::max(
-        out.view_changes, cluster.replica(i).view_changes_started());
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  using namespace findep;
-  using bft::Behavior;
-
-  support::print_banner(std::cout,
-                        "PBFT scaling: all-honest clusters");
-  {
-    support::Table table({"n", "latency (ms)", "msgs/request",
-                          "KiB/request", "msgs ratio to n=4"});
-    std::uint64_t base = 0;
-    for (const std::size_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
-      const RunResult r = run_cluster(n, {});
-      if (base == 0) base = r.messages_per_request;
-      table.add(n, r.latency_ms, r.messages_per_request,
-                r.kilobytes_per_request,
-                static_cast<double>(r.messages_per_request) /
-                    static_cast<double>(base));
-    }
-    table.print(std::cout);
-  }
-
-  support::print_banner(std::cout,
-                        "PBFT under faults (n = 7, f = 2 tolerated)");
-  {
-    support::Table table({"scenario", "completed", "latency (ms)",
-                          "msgs/request", "max view changes"});
-    const auto row = [&](const std::string& label,
-                         std::vector<Behavior> behaviors) {
-      const RunResult r = run_cluster(7, std::move(behaviors));
-      table.add(label, std::string(r.completed ? "yes" : "NO"),
-                r.latency_ms, r.messages_per_request, r.view_changes);
-    };
-    row("all honest", {});
-    row("1 silent backup", {Behavior::kHonest, Behavior::kSilent});
-    row("2 silent backups", {Behavior::kHonest, Behavior::kSilent,
-                             Behavior::kSilent});
-    row("silent primary", {Behavior::kSilent});
-    row("equivocating primary", {Behavior::kEquivocate});
-    table.print(std::cout);
-  }
-
-  std::cout << "\npaper check: quadratic message growth is the price of "
-               "each additional replica — the overhead side of the "
-               "(κ, ω) trade-off.\n";
-  return 0;
+  const auto faulty = [&](std::string label,
+                          std::vector<Behavior> behaviors) {
+    suite.emplace<BftScalingScenario>(BftScalingScenario::Params{
+        .n = 7, .behaviors = std::move(behaviors),
+        .label = std::move(label)});
+  };
+  faulty("n=7 1 silent backup", {Behavior::kHonest, Behavior::kSilent});
+  faulty("n=7 2 silent backups",
+         {Behavior::kHonest, Behavior::kSilent, Behavior::kSilent});
+  faulty("n=7 silent primary", {Behavior::kSilent});
+  faulty("n=7 equivocating primary", {Behavior::kEquivocate});
+  return suite.run_main(argc, argv);
 }

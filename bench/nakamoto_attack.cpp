@@ -6,81 +6,76 @@
 // Expected shape: fork rate grows with delay/interval ratio; attack
 // success at 6 confirmations jumps from ≈0.3% (lone 10% pool) to ≈100%
 // once a shared component aggregates >50% hashrate.
-#include <iostream>
+#include <string>
 
-#include "diversity/datasets.h"
+#include "config/catalog.h"
 #include "faults/injector.h"
 #include "nakamoto/attack.h"
-#include "nakamoto/miner.h"
 #include "nakamoto/pools.h"
-#include "support/table.h"
+#include "runtime/suite.h"
+#include "scenarios/nakamoto.h"
 
-int main() {
-  using namespace findep;
-  using namespace findep::nakamoto;
+namespace {
 
-  support::print_banner(std::cout,
-                        "Fork rate vs propagation delay (10 equal miners, "
-                        "120 s block interval, 6000 blocks-time horizon)");
-  {
-    support::Table table({"mean one-way delay (s)", "delay/interval",
-                          "blocks mined", "stale rate %"});
-    for (const double delay : {0.1, 1.0, 5.0, 15.0, 40.0}) {
-      NakamotoOptions opt;
-      opt.mean_block_interval = 120.0;
-      opt.network.min_latency = delay / 2.0;
-      opt.network.mean_extra_latency = delay / 2.0;
-      opt.seed = 77;
-      NakamotoSim sim(std::vector<double>(10, 1.0), opt);
-      sim.run_for(120.0 * 2000.0);
-      const ChainStats stats = sim.stats();
-      table.add(delay, delay / 120.0, stats.total_blocks,
-                stats.stale_rate * 100.0);
-    }
-    table.print(std::cout);
+using namespace findep;
+
+/// Pool-software compromise: one component fault -> aggregated hashrate
+/// -> double-spend success. A driver-local scenario: the zipf-skewed pool
+/// assignment derives from the run seed.
+class PoolCompromiseScenario : public runtime::Scenario {
+ public:
+  PoolCompromiseScenario(std::string label, bool unique_configs)
+      : label_(std::move(label)), unique_configs_(unique_configs) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "pool_compromise/" + label_;
   }
 
-  support::print_banner(std::cout,
-                        "Double-spend success: closed form vs Monte-Carlo");
-  {
-    support::Table table({"attacker share q", "z=1", "z=2", "z=6 closed",
-                          "z=6 MC", "z for <0.1% risk"});
-    support::Rng rng(13);
-    for (const double q : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
-      table.add(q, attack_success_closed_form(q, 1),
-                attack_success_closed_form(q, 2),
-                attack_success_closed_form(q, 6),
-                attack_success_monte_carlo(q, 6, 40000, rng),
-                confirmations_for_risk(q, 0.001));
-    }
-    table.print(std::cout);
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override {
+    const config::ComponentCatalog catalog =
+        label_ == "monoculture" ? config::monoculture_catalog()
+                                : config::standard_catalog();
+    const nakamoto::PoolSet pools =
+        unique_configs_ ? nakamoto::PoolSet::example1(catalog, true)
+                        : nakamoto::PoolSet::example1(catalog, false,
+                                                      ctx.seed);
+    faults::FaultInjector injector(pools.as_population());
+    const double q = injector.worst_case_components(1).compromised_fraction;
+
+    runtime::MetricRecord metrics;
+    metrics.set("worst_1fault_share", q);
+    metrics.set("attack_z6", nakamoto::attack_success_closed_form(q, 6));
+    metrics.set("attack_z24", nakamoto::attack_success_closed_form(q, 24));
+    return metrics;
   }
 
-  support::print_banner(std::cout,
-                        "Pool-software compromise (Example-1 pools): one "
-                        "component fault -> aggregated hashrate -> attack");
-  {
-    const config::ComponentCatalog catalog = config::standard_catalog();
-    support::Table table({"pool configuration model", "worst 1-fault share",
-                          "attack success z=6", "attack success z=24"});
-    const auto row = [&](const std::string& label, const PoolSet& pools) {
-      faults::FaultInjector injector(pools.as_population());
-      const double q =
-          injector.worst_case_components(1).compromised_fraction;
-      table.add(label, q, attack_success_closed_form(q, 6),
-                attack_success_closed_form(q, 24));
-    };
-    row("paper best case (unique configs)",
-        PoolSet::example1(catalog, true));
-    row("realistic (zipf-skewed software)",
-        PoolSet::example1(catalog, false, 21));
-    row("monoculture", PoolSet::example1(config::monoculture_catalog(),
-                                         false, 22));
-    table.print(std::cout);
-  }
+ private:
+  std::string label_;
+  bool unique_configs_;
+};
 
-  std::cout << "\npaper check: correlated software faults turn a minority "
-               "attacker into a majority one — honest-majority accounting "
-               "must count fault domains, not miners.\n";
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  using findep::scenarios::DoubleSpendScenario;
+  using findep::scenarios::ForkRateScenario;
+
+  findep::runtime::ScenarioSuite suite(
+      "Nakamoto substrate: fork rates and the correlated-fault attack "
+      "pipeline");
+  for (const double delay : {0.1, 1.0, 5.0, 15.0, 40.0}) {
+    suite.emplace<ForkRateScenario>(
+        ForkRateScenario::Params{.mean_one_way_delay = delay});
+  }
+  for (const double q : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
+    suite.emplace<DoubleSpendScenario>(
+        DoubleSpendScenario::Params{.attacker_share = q});
+  }
+  suite.emplace<PoolCompromiseScenario>("paper best case (unique configs)",
+                                        true);
+  suite.emplace<PoolCompromiseScenario>("realistic (zipf-skewed software)",
+                                        false);
+  suite.emplace<PoolCompromiseScenario>("monoculture", false);
+  return suite.run_main(argc, argv);
 }

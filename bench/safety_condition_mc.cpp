@@ -6,58 +6,20 @@
 // Expected shape: the single-fault break probability (k = 1) and the
 // worst-case single-fault compromise grow steadily with monoculture skew —
 // a uniform population is unbreakable by any one fault, a skewed one often
-// falls to one. (At larger k the *random*-fault columns also reflect a
-// coverage effect: uniform populations spread power over fewer, larger
-// component groups per axis, so many random faults aggregate coverage
-// faster; the worst-case attacker is always served best by skew.)
-#include <iostream>
+// falls to one. Sweeping seeds now also samples fresh populations per
+// run, so the ± spread quantifies population-to-population variance.
+#include "runtime/suite.h"
+#include "scenarios/safety_condition.h"
 
-#include "config/sampler.h"
-#include "diversity/analyzer.h"
-#include "diversity/metrics.h"
-#include "faults/injector.h"
-#include "support/table.h"
+int main(int argc, char** argv) {
+  using findep::scenarios::SafetyConditionScenario;
 
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Safety condition: P[Σ f_i > threshold] under k "
-                        "random component faults (100 replicas, 2000 "
-                        "trials)");
-
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  support::Table table({"zipf skew", "H(p) bits", "P[>1/3] k=1",
-                        "P[>1/3] k=2", "P[>1/3] k=4", "P[>1/2] k=4",
-                        "worst k=1"});
+  findep::runtime::ScenarioSuite suite(
+      "Safety condition: P[compromise > threshold] under k random "
+      "component faults (100 replicas, 2000 trials per seed)");
   for (const double skew : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0}) {
-    config::SamplerOptions opts;
-    opts.zipf_exponent = skew;
-    opts.attestable_fraction = 0.5;
-    config::ConfigurationSampler sampler(catalog, opts);
-    support::Rng rng(2024 + static_cast<std::uint64_t>(skew * 10));
-    std::vector<ReplicaRecord> population;
-    for (const auto& cfg : sampler.sample_population(rng, 100)) {
-      population.push_back(ReplicaRecord{cfg, 1.0, true});
-    }
-    const double h =
-        shannon_entropy(DiversityAnalyzer::distribution_of(population));
-    faults::FaultInjector injector(population);
-    support::Rng mc(99);
-    table.add(skew, h,
-              injector.break_probability(1, kBftThreshold, 2000, mc),
-              injector.break_probability(2, kBftThreshold, 2000, mc),
-              injector.break_probability(4, kBftThreshold, 2000, mc),
-              injector.break_probability(4, kNakamotoThreshold, 2000, mc),
-              injector.worst_case_components(1).compromised_fraction);
+    suite.emplace<SafetyConditionScenario>(
+        SafetyConditionScenario::Params{.zipf_exponent = skew});
   }
-  table.print(std::cout);
-
-  std::cout << "\npaper check: under monoculture (high skew) a SINGLE "
-               "random fault violates the safety condition with growing "
-               "probability, and the worst-case single fault approaches "
-               "total compromise — fault independence is what keeps "
-               "Σ f_i below f.\n";
-  return 0;
+  return suite.run_main(argc, argv);
 }

@@ -8,67 +8,36 @@
 // pools above the threshold enables the strategy outright.
 #include <iostream>
 
-#include "config/catalog.h"
-#include "faults/injector.h"
-#include "nakamoto/pools.h"
 #include "nakamoto/selfish.h"
-#include "support/table.h"
+#include "runtime/suite.h"
+#include "scenarios/selfish_mining.h"
 
-int main() {
-  using namespace findep;
-  using namespace findep::nakamoto;
+int main(int argc, char** argv) {
+  using findep::scenarios::SelfishMiningScenario;
 
-  support::print_banner(std::cout,
-                        "Selfish mining: relative revenue vs hashrate "
-                        "(2M simulated blocks per cell)");
-  {
-    support::Table table({"alpha", "revenue g=0", "revenue g=0.5",
-                          "revenue g=1", "advantage g=0.5"});
-    support::Rng rng(2718);
-    for (const double alpha : {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.40,
-                               0.45}) {
-      const auto g0 = simulate_selfish_mining(alpha, 0.0, 2'000'000, rng);
-      const auto g5 = simulate_selfish_mining(alpha, 0.5, 2'000'000, rng);
-      const auto g1 = simulate_selfish_mining(alpha, 1.0, 2'000'000, rng);
-      table.add(alpha, g0.revenue_share(), g5.revenue_share(),
-                g1.revenue_share(), g5.advantage());
-    }
-    table.print(std::cout);
+  findep::runtime::SuiteOptions options;
+  if (!findep::runtime::parse_suite_options(argc, argv, options,
+                                            std::cerr)) {
+    return 2;
+  }
+  // Free-text preamble only in table mode: --csv/--json/--list output
+  // must stay machine-parseable.
+  if (!options.csv && !options.json && !options.list) {
     std::cout << "profitability thresholds: g=0: "
-              << selfish_mining_threshold(0.0)
-              << ", g=0.5: " << selfish_mining_threshold(0.5)
-              << ", g=1: " << selfish_mining_threshold(1.0) << '\n';
+              << findep::nakamoto::selfish_mining_threshold(0.0)
+              << ", g=0.5: "
+              << findep::nakamoto::selfish_mining_threshold(0.5)
+              << ", g=1: " << findep::nakamoto::selfish_mining_threshold(1.0)
+              << "\n";
   }
 
-  support::print_banner(std::cout,
-                        "Fault pipeline: does one component fault hand an "
-                        "attacker a selfish-mining-capable share?");
-  {
-    const config::ComponentCatalog catalog = config::standard_catalog();
-    support::Table table({"pool configuration model", "1-fault share",
-                          "exceeds g=0 threshold", "selfish revenue g=0"});
-    support::Rng rng(31);
-    const auto row = [&](const std::string& label, const PoolSet& pools) {
-      faults::FaultInjector injector(pools.as_population());
-      const double q =
-          injector.worst_case_components(1).compromised_fraction;
-      const bool above = q > selfish_mining_threshold(0.0);
-      const double revenue =
-          q < 0.5
-              ? simulate_selfish_mining(q, 0.0, 1'000'000, rng)
-                    .revenue_share()
-              : 1.0;
-      table.add(label, q, std::string(above ? "YES" : "no"), revenue);
-    };
-    row("paper best case (unique configs)",
-        PoolSet::example1(catalog, true));
-    row("realistic (zipf-skewed software)",
-        PoolSet::example1(catalog, false, 21));
-    table.print(std::cout);
+  findep::runtime::ScenarioSuite suite(
+      "Selfish mining: relative revenue vs hashrate (1M simulated blocks "
+      "per gamma per seed)");
+  for (const double alpha :
+       {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.40, 0.45}) {
+    suite.emplace<SelfishMiningScenario>(
+        SelfishMiningScenario::Params{.alpha = alpha});
   }
-
-  std::cout << "\npaper check: even sub-majority correlated faults are "
-               "dangerous — the aggregated share clears the selfish-mining "
-               "threshold and earns super-proportional revenue.\n";
-  return 0;
+  return suite.run(options, std::cout, std::cerr);
 }

@@ -1,53 +1,65 @@
-// Quickstart: measure the diversity of a replica population in ~40 lines.
+// Quickstart: write a Scenario and sweep it across seeds in ~40 lines.
+//
+// A Scenario is one experiment as a pure function of its seed: build a
+// population, measure it, return metrics. The runtime sweeps it across
+// --seeds seeds on a worker pool and merges results deterministically.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
-#include <iostream>
-
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/examples/quickstart --seeds 8 --threads 4
 #include "config/sampler.h"
 #include "diversity/analyzer.h"
 #include "diversity/metrics.h"
 #include "diversity/optimality.h"
+#include "diversity/resilience.h"
+#include "runtime/suite.h"
 
-int main() {
-  using namespace findep;
+namespace {
 
-  // 1. A population: 32 replicas drawing COTS components with realistic
-  //    popularity skew (one OS and one node implementation dominate).
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  config::SamplerOptions options;
-  options.zipf_exponent = 1.0;       // market-share-like skew
-  options.attestable_fraction = 0.5; // half the replicas have a TEE
-  config::ConfigurationSampler sampler(catalog, options);
+using namespace findep;
 
-  support::Rng rng(/*seed=*/2023);
-  std::vector<diversity::ReplicaRecord> population;
-  for (const auto& cfg : sampler.sample_population(rng, 32)) {
-    population.push_back(diversity::ReplicaRecord{cfg, /*power=*/1.0,
-                                                  cfg.is_attestable()});
+// 32 replicas drawing COTS components with market-share-like popularity
+// skew; metrics are the paper's headline quantities (§IV-A).
+class DiversityAuditScenario : public runtime::Scenario {
+ public:
+  std::string name() const override { return "diversity_audit/n=32"; }
+
+  runtime::MetricRecord run(const runtime::RunContext& ctx) const override {
+    const config::ComponentCatalog catalog = config::standard_catalog();
+    config::SamplerOptions options;
+    options.zipf_exponent = 1.0;        // market-share-like skew
+    options.attestable_fraction = 0.5;  // half the replicas have a TEE
+    config::ConfigurationSampler sampler(catalog, options);
+
+    support::Rng rng(ctx.seed);
+    std::vector<diversity::ReplicaRecord> population;
+    for (const auto& cfg : sampler.sample_population(rng, 32)) {
+      population.push_back(
+          diversity::ReplicaRecord{cfg, 1.0, cfg.is_attestable()});
+    }
+
+    const diversity::ConfigDistribution dist =
+        diversity::DiversityAnalyzer::distribution_of(population);
+    runtime::MetricRecord metrics;
+    metrics.set("entropy_bits", diversity::shannon_entropy(dist));
+    metrics.set("max_entropy_bits",
+                diversity::max_entropy_bits(dist.support_size()));
+    metrics.set("kappa_optimal",
+                diversity::is_kappa_optimal(dist, dist.support_size())
+                    ? 1.0
+                    : 0.0);
+    metrics.set("faults_to_exceed_third",
+                static_cast<double>(diversity::min_faults_to_exceed(
+                    dist, diversity::kBftThreshold)));
+    return metrics;
   }
+};
 
-  // 2. Analyze it: entropy (§IV-A), κ-optimality gap, fault counts.
-  const diversity::DiversityReport report =
-      diversity::DiversityAnalyzer::analyze(population);
-  std::cout << report.to_string(&catalog) << '\n';
+}  // namespace
 
-  // 3. The paper's headline quantities, individually:
-  const diversity::ConfigDistribution dist =
-      diversity::DiversityAnalyzer::distribution_of(population);
-  std::cout << "Shannon entropy H(p):        "
-            << diversity::shannon_entropy(dist) << " bits\n";
-  std::cout << "max possible (log2 k'):      "
-            << diversity::max_entropy_bits(dist.support_size()) << " bits\n";
-  std::cout << "κ-optimal (Definition 1)?    "
-            << (diversity::is_kappa_optimal(dist, dist.support_size())
-                    ? "yes"
-                    : "no")
-            << '\n';
-  std::cout << "worst-case faults to exceed 1/3: "
-            << diversity::min_faults_to_exceed(dist,
-                                               diversity::kBftThreshold)
-            << '\n';
-  return 0;
+int main(int argc, char** argv) {
+  runtime::ScenarioSuite suite(
+      "Quickstart: diversity of a sampled replica population");
+  suite.emplace<DiversityAuditScenario>();
+  return suite.run_main(argc, argv);
 }

@@ -1,0 +1,89 @@
+#include "attest/service.h"
+
+#include <type_traits>
+#include <variant>
+
+#include "support/assert.h"
+
+namespace findep::attest {
+
+namespace {
+/// Wire-size model (bytes), mirroring the BFT layer's constants.
+constexpr std::uint64_t kControlMessage = 128;
+constexpr std::uint64_t kQuoteMessage = 1024;
+}  // namespace
+
+RegistryService::RegistryService(net::SimNetwork& network, net::NodeId node,
+                                 AttestationRegistry& registry)
+    : network_(&network), node_(node), registry_(&registry) {
+  network_->attach(node_,
+                   [this](const net::Message& msg) { on_message(msg); });
+}
+
+void RegistryService::on_message(const net::Message& msg) {
+  const WireMessage* wire = msg.envelope.get<WireMessage>();
+  if (wire == nullptr) return;  // foreign traffic
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ChallengeRequest>) {
+          ++challenges_issued_;
+          network_->send(node_, msg.from,
+                         WireMessage(Challenge{registry_->challenge()}),
+                         kControlMessage);
+        } else if constexpr (std::is_same_v<T, QuoteSubmission>) {
+          const bool ok = registry_->admit(m.quote, m.power);
+          ++(ok ? admitted_ : rejected_);
+          network_->send(
+              node_, msg.from,
+              WireMessage(AdmissionDecision{m.quote.vote_key, ok}),
+              kControlMessage);
+        }
+        // Challenge / AdmissionDecision are verifier → replica only.
+      },
+      *wire);
+}
+
+EnrollmentClient::EnrollmentClient(net::SimNetwork& network, net::NodeId node,
+                                   net::NodeId service,
+                                   const PlatformModule& platform,
+                                   diversity::VotingPower power)
+    : network_(&network),
+      node_(node),
+      service_(service),
+      platform_(&platform),
+      power_(power) {
+  network_->attach(node_,
+                   [this](const net::Message& msg) { on_message(msg); });
+}
+
+void EnrollmentClient::enroll() {
+  enrolled_at_ = network_->simulator().now();
+  network_->send(node_, service_,
+                 WireMessage(ChallengeRequest{platform_->vote_key()}),
+                 kControlMessage);
+}
+
+void EnrollmentClient::on_message(const net::Message& msg) {
+  const WireMessage* wire = msg.envelope.get<WireMessage>();
+  if (wire == nullptr || msg.from != service_) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Challenge>) {
+          network_->send(
+              node_, service_,
+              WireMessage(QuoteSubmission{platform_->quote(m.nonce), power_}),
+              kQuoteMessage);
+        } else if constexpr (std::is_same_v<T, AdmissionDecision>) {
+          if (m.vote_key == platform_->vote_key() && !decided_) {
+            decided_ = true;
+            admitted_ = m.admitted;
+            decided_at_ = network_->simulator().now();
+          }
+        }
+      },
+      *wire);
+}
+
+}  // namespace findep::attest

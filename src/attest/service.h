@@ -1,0 +1,82 @@
+// Network endpoints for the attestation wire protocol (attest/wire.h):
+// a verifier-side `RegistryService` that runs challenge–quote–admit over
+// the simulated network, and the replica-side `EnrollmentClient` that
+// drives a join. Together they turn the registry's configuration
+// discovery (§III-B) into message-passing the experiments can meter —
+// admission round-trips, bytes, and sim-time latency under churn.
+#pragma once
+
+#include <cstdint>
+
+#include "attest/quote.h"
+#include "attest/registry.h"
+#include "attest/wire.h"
+#include "net/network.h"
+
+namespace findep::attest {
+
+/// Verifier-side endpoint: attaches an AttestationRegistry to a network
+/// node and serves ChallengeRequest / QuoteSubmission messages.
+class RegistryService {
+ public:
+  RegistryService(net::SimNetwork& network, net::NodeId node,
+                  AttestationRegistry& registry);
+
+  RegistryService(const RegistryService&) = delete;
+  RegistryService& operator=(const RegistryService&) = delete;
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t challenges_issued() const noexcept {
+    return challenges_issued_;
+  }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::SimNetwork* network_;
+  net::NodeId node_;
+  AttestationRegistry* registry_;
+  std::uint64_t challenges_issued_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+/// Replica-side endpoint: answers the service's challenge with a quote
+/// from its platform module and records the admission verdict.
+class EnrollmentClient {
+ public:
+  EnrollmentClient(net::SimNetwork& network, net::NodeId node,
+                   net::NodeId service, const PlatformModule& platform,
+                   diversity::VotingPower power);
+
+  EnrollmentClient(const EnrollmentClient&) = delete;
+  EnrollmentClient& operator=(const EnrollmentClient&) = delete;
+
+  /// Kicks off the join (sends ChallengeRequest to the service).
+  void enroll();
+
+  [[nodiscard]] bool decided() const noexcept { return decided_; }
+  [[nodiscard]] bool admitted() const noexcept { return admitted_; }
+  /// Sim-time from enroll() to the admission decision (valid once
+  /// decided()).
+  [[nodiscard]] double enrollment_latency() const noexcept {
+    return decided_at_ - enrolled_at_;
+  }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::SimNetwork* network_;
+  net::NodeId node_;
+  net::NodeId service_;
+  const PlatformModule* platform_;
+  diversity::VotingPower power_;
+  bool decided_ = false;
+  bool admitted_ = false;
+  double enrolled_at_ = 0.0;
+  double decided_at_ = 0.0;
+};
+
+}  // namespace findep::attest

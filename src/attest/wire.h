@@ -1,0 +1,43 @@
+// Wire messages for network-driven attestation (§III-B): the
+// challenge–quote–admit exchange between a joining replica and the
+// verifier-side registry, expressed as plain data so the typed network
+// envelope (net/envelope.h) can carry them. The service endpoints that
+// speak this protocol live in attest/service.h.
+#pragma once
+
+#include <variant>
+
+#include "attest/quote.h"
+#include "diversity/distribution.h"
+
+namespace findep::attest {
+
+/// Replica → registry: "I want to join; challenge me."
+struct ChallengeRequest {
+  crypto::PublicKey vote_key;
+};
+
+/// Registry → replica: fresh nonce to quote over (accepted once).
+struct Challenge {
+  crypto::Digest nonce;
+};
+
+/// Replica → registry: the attestation evidence plus the claimed voting
+/// power (the registry records the pair on successful verification).
+struct QuoteSubmission {
+  Quote quote;
+  diversity::VotingPower power = 0.0;
+};
+
+/// Registry → replica: admission verdict for `vote_key`.
+struct AdmissionDecision {
+  crypto::PublicKey vote_key;
+  bool admitted = false;
+};
+
+/// The attestation payload family carried by net::Envelope.
+using WireMessage =
+    std::variant<ChallengeRequest, Challenge, QuoteSubmission,
+                 AdmissionDecision>;
+
+}  // namespace findep::attest

@@ -68,10 +68,10 @@ std::uint64_t BftCluster::submit() {
                           .finish();
   traces_.push_back(RequestTrace{rid, sim_.now(), -1.0});
 
-  Envelope env = make_envelope(client_id_, *client_keys_, request);
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    network_->send(client_id_, static_cast<net::NodeId>(i), env, 512);
-  }
+  // The client is not attached, so a network broadcast reaches exactly
+  // the replicas — with one shared body instead of n payload copies.
+  const net::Envelope wire(make_envelope(client_id_, *client_keys_, request));
+  network_->broadcast(client_id_, wire, 512);
   return rid;
 }
 

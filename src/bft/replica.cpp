@@ -1,6 +1,8 @@
 #include "bft/replica.h"
 
 #include <algorithm>
+#include <type_traits>
+#include <variant>
 
 #include "support/assert.h"
 
@@ -64,13 +66,12 @@ void Replica::start() {
 
 void Replica::broadcast(Payload payload, std::uint64_t bytes) {
   if (options_.behavior == Behavior::kSilent) return;
-  Envelope env = make_envelope(id_, keys_, std::move(payload));
-  // PBFT replicas also "send to themselves": process locally right away.
-  for (ReplicaId r = 0; r < weights_.size(); ++r) {
-    if (r == id_) continue;
-    network_->send(id_, r, env, bytes);
-  }
-  network_->send(id_, id_, std::move(env), bytes);
+  // One shared body for the whole fan-out (every replica is attached, so
+  // the network broadcast reaches exactly the other replicas)...
+  const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
+  network_->broadcast(id_, wire, bytes);
+  // ...then PBFT's "send to yourself" leg, sharing the same body.
+  network_->send(id_, id_, wire, bytes);
 }
 
 void Replica::send_to(net::NodeId to, Payload payload, std::uint64_t bytes) {
@@ -81,7 +82,7 @@ void Replica::send_to(net::NodeId to, Payload payload, std::uint64_t bytes) {
 
 void Replica::on_message(const net::Message& raw) {
   if (options_.behavior == Behavior::kSilent) return;
-  const auto* env = std::any_cast<Envelope>(&raw.payload);
+  const Envelope* env = raw.envelope.get<Envelope>();
   if (env == nullptr) return;  // foreign traffic
   // Authentication: the claimed sender key must be the directory entry
   // (clients are outside the directory and allowed for Request only).
@@ -89,60 +90,65 @@ void Replica::on_message(const net::Message& raw) {
   if (from_replica && directory_[env->sender] != env->sender_key) return;
   if (!verify_envelope(*registry_, *env)) return;
 
-  if (const auto* req = std::get_if<Request>(&env->payload)) {
-    on_request(*req, raw.from);
-  } else if (!from_replica) {
-    return;  // only replicas may send protocol messages
-  } else if (const auto* pp = std::get_if<PrePrepare>(&env->payload)) {
-    if (pp->view > view_) {
-      future_messages_.push_back(*env);
-      return;
-    }
-    on_preprepare(*pp, env->sender);
-  } else if (const auto* p = std::get_if<Prepare>(&env->payload)) {
-    if (p->view > view_) {
-      future_messages_.push_back(*env);
-      return;
-    }
-    on_prepare(*p, env->sender);
-  } else if (const auto* c = std::get_if<Commit>(&env->payload)) {
-    if (c->view > view_) {
-      future_messages_.push_back(*env);
-      return;
-    }
-    on_commit(*c, env->sender);
-  } else if (const auto* cp = std::get_if<Checkpoint>(&env->payload)) {
-    on_checkpoint(*cp, env->sender);
-  } else if (const auto* vc = std::get_if<ViewChange>(&env->payload)) {
-    on_viewchange(*vc, env->sender, env->signature);
-  } else if (const auto* nv = std::get_if<NewView>(&env->payload)) {
-    on_newview(*nv, env->sender);
-  }
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Request>) {
+          on_request(m, raw.from);
+          return;
+        } else {
+          if (!from_replica) return;  // clients may only send requests
+          if constexpr (std::is_same_v<T, PrePrepare> ||
+                        std::is_same_v<T, Prepare> ||
+                        std::is_same_v<T, Commit>) {
+            if (m.view > view_) {
+              // We lag behind a view change; replay after installation.
+              future_messages_.push_back(*env);
+              return;
+            }
+          }
+          if constexpr (std::is_same_v<T, PrePrepare>) {
+            on_preprepare(m, env->sender);
+          } else if constexpr (std::is_same_v<T, Prepare>) {
+            on_prepare(m, env->sender);
+          } else if constexpr (std::is_same_v<T, Commit>) {
+            on_commit(m, env->sender);
+          } else if constexpr (std::is_same_v<T, Checkpoint>) {
+            on_checkpoint(m, env->sender);
+          } else if constexpr (std::is_same_v<T, ViewChange>) {
+            on_viewchange(m, env->sender, env->signature);
+          } else if constexpr (std::is_same_v<T, NewView>) {
+            on_newview(m, env->sender);
+          }
+        }
+      },
+      env->payload);
 }
 
 void Replica::replay_future_messages() {
   std::vector<Envelope> pending;
   pending.swap(future_messages_);
   for (Envelope& env : pending) {
-    if (const auto* pp = std::get_if<PrePrepare>(&env.payload)) {
-      if (pp->view > view_) {
-        future_messages_.push_back(std::move(env));
-        continue;
-      }
-      on_preprepare(*pp, env.sender);
-    } else if (const auto* p = std::get_if<Prepare>(&env.payload)) {
-      if (p->view > view_) {
-        future_messages_.push_back(std::move(env));
-        continue;
-      }
-      on_prepare(*p, env.sender);
-    } else if (const auto* c = std::get_if<Commit>(&env.payload)) {
-      if (c->view > view_) {
-        future_messages_.push_back(std::move(env));
-        continue;
-      }
-      on_commit(*c, env.sender);
-    }
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, PrePrepare> ||
+                        std::is_same_v<T, Prepare> ||
+                        std::is_same_v<T, Commit>) {
+            if (m.view > view_) {
+              future_messages_.push_back(env);
+              return;
+            }
+            if constexpr (std::is_same_v<T, PrePrepare>) {
+              on_preprepare(m, env.sender);
+            } else if constexpr (std::is_same_v<T, Prepare>) {
+              on_prepare(m, env.sender);
+            } else {
+              on_commit(m, env.sender);
+            }
+          }
+        },
+        env.payload);
   }
 }
 

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
-#include "net/network.h"
+#include "net/types.h"
 
 namespace findep::nakamoto {
 

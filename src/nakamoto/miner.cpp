@@ -33,7 +33,7 @@ NakamotoSim::NakamotoSim(std::vector<double> hashrates,
       *network_, nodes, options_.gossip_degree,
       support::mix64(options_.seed ^ 0x676f7353),
       [this](net::NodeId node, const net::GossipItem& item) {
-        const auto* block = std::any_cast<Block>(&item.payload);
+        const Block* block = item.block();
         FINDEP_ASSERT(block != nullptr);
         on_block(node, *block);
       });
@@ -65,7 +65,7 @@ void NakamotoSim::on_found(MinerId miner) {
 
   net::GossipItem item;
   item.id = block.hash;
-  item.payload = block;
+  item.content = block;
   item.bytes = 1'000'000;  // ~1 MB block
   gossip_->publish(miner, std::move(item));
 

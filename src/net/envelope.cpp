@@ -1,0 +1,23 @@
+#include "net/envelope.h"
+
+namespace findep::net {
+
+const Envelope::Body& Envelope::body() const noexcept {
+  static const Body kEmpty{};
+  return body_ ? *body_ : kEmpty;
+}
+
+const char* family_name(const Envelope& envelope) noexcept {
+  struct Namer {
+    const char* operator()(std::monostate) const { return "empty"; }
+    const char* operator()(const Probe&) const { return "probe"; }
+    const char* operator()(const GossipItem&) const { return "gossip"; }
+    const char* operator()(const bft::Envelope&) const { return "bft"; }
+    const char* operator()(const attest::WireMessage&) const {
+      return "attest";
+    }
+  };
+  return envelope.visit(Namer{});
+}
+
+}  // namespace findep::net

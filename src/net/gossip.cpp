@@ -37,7 +37,7 @@ GossipOverlay::GossipOverlay(SimNetwork& network, std::vector<NodeId> nodes,
   for (const NodeId node : nodes_) {
     seen_[node];  // materialize
     network_->attach(node, [this, node](const Message& msg) {
-      const auto* item = std::any_cast<GossipItem>(&msg.payload);
+      const auto* item = msg.envelope.get<GossipItem>();
       FINDEP_ASSERT(item != nullptr);
       receive(node, *item);
     });
@@ -58,8 +58,10 @@ void GossipOverlay::receive(NodeId node, const GossipItem& item) {
 void GossipOverlay::forward(NodeId node, const GossipItem& item) {
   const auto it = adjacency_.find(node);
   if (it == adjacency_.end()) return;
+  // One envelope body shared across every neighbour hop.
+  const Envelope envelope(item);
   for (const NodeId neighbour : it->second) {
-    network_->send(node, neighbour, item, item.bytes);
+    network_->send(node, neighbour, envelope, item.bytes);
   }
 }
 

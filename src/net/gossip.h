@@ -7,23 +7,16 @@
 // the propagation delays this overlay produces.
 #pragma once
 
-#include <any>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "net/envelope.h"  // GossipItem lives with the typed envelope
 #include "net/network.h"
 
 namespace findep::net {
-
-/// Flooded item: identified by digest for deduplication.
-struct GossipItem {
-  crypto::Digest id;
-  std::any payload;
-  std::uint64_t bytes = 1024;
-};
 
 class GossipOverlay {
  public:

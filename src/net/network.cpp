@@ -33,7 +33,7 @@ double SimNetwork::sample_latency(NodeId from, NodeId to) {
   return latency;
 }
 
-void SimNetwork::send(NodeId from, NodeId to, std::any payload,
+void SimNetwork::send(NodeId from, NodeId to, Envelope envelope,
                       std::uint64_t bytes) {
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
@@ -66,8 +66,9 @@ void SimNetwork::send(NodeId from, NodeId to, std::any payload,
 
   const double latency = from == to ? 0.0 : sample_latency(from, to);
   // Capture by value: the handler table may change between schedule and
-  // delivery, so we look the handler up again at delivery time.
-  Message msg{from, to, bytes, std::move(payload)};
+  // delivery, so we look the handler up again at delivery time. The
+  // capture shares the envelope body, it does not copy it.
+  Message msg{from, to, bytes, std::move(envelope)};
   sim_->schedule_after(latency, [this, msg = std::move(msg)]() mutable {
     const auto it = handlers_.find(msg.to);
     if (it == handlers_.end() || !it->second) {
@@ -79,7 +80,7 @@ void SimNetwork::send(NodeId from, NodeId to, std::any payload,
   });
 }
 
-void SimNetwork::broadcast(NodeId from, const std::any& payload,
+void SimNetwork::broadcast(NodeId from, const Envelope& envelope,
                            std::uint64_t bytes) {
   // Snapshot destinations first: handlers_ may be mutated by deliveries
   // scheduled inside send() if the simulator is stepped re-entrantly.
@@ -88,10 +89,12 @@ void SimNetwork::broadcast(NodeId from, const std::any& payload,
   for (const auto& [node, handler] : handlers_) {
     if (node != from) targets.push_back(node);
   }
-  // Deterministic order regardless of hash-map iteration.
+  // Deterministic order regardless of hash-map iteration. Each send()
+  // copies only the envelope handle; the body is shared by all
+  // recipients (one allocation for the whole broadcast).
   std::sort(targets.begin(), targets.end());
   for (const NodeId to : targets) {
-    send(from, to, payload, bytes);
+    send(from, to, envelope, bytes);
   }
 }
 

@@ -9,26 +9,26 @@
 // of others' messages impossible, which the protocols rely on).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/envelope.h"
+#include "net/types.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
 namespace findep::net {
 
-using NodeId = std::uint32_t;
-
-/// A delivered message (payload is protocol-defined).
+/// A delivered message. The envelope body is shared and immutable: a
+/// broadcast delivers the same body to every recipient.
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   std::uint64_t bytes = 0;
-  std::any payload;
+  Envelope envelope;
 };
 
 /// Latency/loss parameters.
@@ -68,14 +68,17 @@ class SimNetwork {
     return handlers_.size();
   }
 
-  /// Sends `payload` from -> to; delivery is scheduled unless dropped by
+  /// Sends `envelope` from -> to; delivery is scheduled unless dropped by
   /// loss, partition or the filter. Self-sends are delivered with zero
-  /// latency (local loopback).
-  void send(NodeId from, NodeId to, std::any payload,
+  /// latency (local loopback). Copying the envelope only bumps the shared
+  /// body's refcount.
+  void send(NodeId from, NodeId to, Envelope envelope,
             std::uint64_t bytes = 256);
 
-  /// Sends to every attached node except `from`.
-  void broadcast(NodeId from, const std::any& payload,
+  /// Sends to every attached node except `from`. All deliveries share one
+  /// immutable body; `bytes` is accounted once per recipient, exactly as
+  /// the equivalent per-recipient send() loop would.
+  void broadcast(NodeId from, const Envelope& envelope,
                  std::uint64_t bytes = 256);
 
   /// Assigns `node` to a partition group; messages crossing groups are

@@ -1,0 +1,13 @@
+// Basic network identifiers, split out so protocol-layer message headers
+// (bft, nakamoto, attest) can name node ids without pulling in the whole
+// SimNetwork — the typed envelope (net/envelope.h) needs those headers,
+// and SimNetwork needs the envelope, so this breaks the cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace findep::net {
+
+using NodeId = std::uint32_t;
+
+}  // namespace findep::net

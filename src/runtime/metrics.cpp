@@ -1,0 +1,202 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace findep::runtime {
+
+void MetricRecord::set(const std::string& name, double value) {
+  for (auto& [existing, v] : entries_) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(name, value);
+}
+
+bool MetricRecord::has(const std::string& name) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+double MetricRecord::get(const std::string& name) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == name) return v;
+  }
+  FINDEP_REQUIRE_MSG(false, "unknown metric: " + name);
+  return 0.0;  // unreachable
+}
+
+void MetricsSink::add(std::string scenario, std::string family,
+                      std::vector<RunRecord> records) {
+  std::stable_sort(
+      records.begin(), records.end(),
+      [](const RunRecord& a, const RunRecord& b) { return a.seed < b.seed; });
+  entries_.push_back(
+      Entry{std::move(scenario), std::move(family), std::move(records)});
+}
+
+bool MetricsSink::any_errors() const noexcept {
+  for (const Entry& e : entries_) {
+    for (const RunRecord& r : e.records) {
+      if (!r.ok()) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Metric names of the first successful record (the scenario contract is
+/// that every seed emits the same metric set).
+std::vector<std::string> metric_names(const MetricsSink::Entry& entry) {
+  for (const RunRecord& r : entry.records) {
+    if (!r.ok()) continue;
+    std::vector<std::string> names;
+    names.reserve(r.metrics.entries().size());
+    for (const auto& [name, value] : r.metrics.entries()) {
+      names.push_back(name);
+    }
+    return names;
+  }
+  return {};
+}
+
+support::RunningStats aggregate(const MetricsSink::Entry& entry,
+                                const std::string& metric) {
+  support::RunningStats stats;
+  for (const RunRecord& r : entry.records) {
+    if (r.ok() && r.metrics.has(metric)) stats.add(r.metrics.get(metric));
+  }
+  return stats;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string mean_cell(const support::RunningStats& stats) {
+  if (stats.count() == 0) return "ERROR";
+  std::string cell = support::Table::format_cell(stats.mean());
+  if (stats.count() > 1) {
+    cell += " ±" + support::Table::format_cell(stats.stddev());
+  }
+  return cell;
+}
+
+}  // namespace
+
+void MetricsSink::print_tables(std::ostream& out) const {
+  // Group by family, preserving first-appearance order.
+  std::vector<std::string> families;
+  for (const Entry& e : entries_) {
+    if (std::find(families.begin(), families.end(), e.family) ==
+        families.end()) {
+      families.push_back(e.family);
+    }
+  }
+  for (const std::string& family : families) {
+    std::vector<const Entry*> group;
+    for (const Entry& e : entries_) {
+      if (e.family == family) group.push_back(&e);
+    }
+    // Columns come from the first group member that has a successful
+    // record (a scenario that failed on every seed must not blank the
+    // whole family's metric columns).
+    std::vector<std::string> names;
+    for (const Entry* e : group) {
+      names = metric_names(*e);
+      if (!names.empty()) break;
+    }
+    std::vector<std::string> headers = {"scenario", "seeds"};
+    headers.insert(headers.end(), names.begin(), names.end());
+    support::print_banner(out, family);
+    support::Table table(std::move(headers));
+    for (const Entry* e : group) {
+      std::vector<std::string> cells = {
+          e->scenario, std::to_string(e->records.size())};
+      for (const std::string& name : names) {
+        cells.push_back(mean_cell(aggregate(*e, name)));
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(out);
+  }
+}
+
+void MetricsSink::print_csv(std::ostream& out) const {
+  out << "family,scenario,seeds,metric,mean,stddev,min,max\n";
+  for (const Entry& e : entries_) {
+    for (const std::string& name : metric_names(e)) {
+      const support::RunningStats stats = aggregate(e, name);
+      out << e.family << ',' << e.scenario << ',' << e.records.size() << ','
+          << name << ',' << format_exact(stats.mean()) << ','
+          << format_exact(stats.stddev()) << ',' << format_exact(stats.min())
+          << ',' << format_exact(stats.max()) << '\n';
+    }
+  }
+}
+
+void MetricsSink::print_json(std::ostream& out) const {
+  out << "{\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(e.scenario)
+        << "\", \"family\": \"" << json_escape(e.family)
+        << "\", \"runs\": [";
+    for (std::size_t j = 0; j < e.records.size(); ++j) {
+      const RunRecord& r = e.records[j];
+      out << (j == 0 ? "\n" : ",\n");
+      out << "      {\"seed\": " << r.seed;
+      if (!r.ok()) {
+        out << ", \"error\": \"" << json_escape(r.error) << "\"}";
+        continue;
+      }
+      out << ", \"metrics\": {";
+      const auto& metrics = r.metrics.entries();
+      for (std::size_t k = 0; k < metrics.size(); ++k) {
+        if (k != 0) out << ", ";
+        out << '"' << json_escape(metrics[k].first)
+            << "\": " << format_exact(metrics[k].second);
+      }
+      out << "}}";
+    }
+    out << "\n    ]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string format_exact(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace findep::runtime

@@ -1,0 +1,88 @@
+// Metric records and the deterministic sweep sink.
+//
+// Every per-seed scenario run produces a `MetricRecord` (named values in
+// insertion order). The `MetricsSink` merges per-seed records *sorted by
+// seed, never by completion order*, so a parallel sweep prints and
+// serializes byte-identically to a serial one — the reproducibility
+// contract every experiment in this repo leans on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace findep::runtime {
+
+/// Named doubles in insertion order (order is part of the record's
+/// identity: tables and JSON render in it).
+class MetricRecord {
+ public:
+  /// Inserts or overwrites; first insertion fixes the position.
+  void set(const std::string& name, double value);
+
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
+  /// Requires `has(name)`.
+  [[nodiscard]] double get(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& entries()
+      const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  bool operator==(const MetricRecord&) const = default;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Outcome of one seed of a sweep.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  std::size_t run_index = 0;
+  MetricRecord metrics;
+  std::string error;  // non-empty when the run threw
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Collects per-scenario sweep results and renders them as aligned
+/// tables (one per scenario family), CSV, or JSON.
+class MetricsSink {
+ public:
+  struct Entry {
+    std::string scenario;
+    std::string family;
+    std::vector<RunRecord> records;  // sorted by seed
+  };
+
+  /// Stores `records` sorted by seed (stable, independent of the order
+  /// workers finished in).
+  void add(std::string scenario, std::string family,
+           std::vector<RunRecord> records);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool any_errors() const noexcept;
+
+  /// One aligned table per family: a row per scenario, a column per
+  /// metric (mean, with ±stddev when the sweep has several seeds).
+  void print_tables(std::ostream& out) const;
+  /// CSV rows: family,scenario,seeds,metric,mean,stddev,min,max.
+  void print_csv(std::ostream& out) const;
+  /// Full per-seed values plus aggregates; doubles are emitted with 17
+  /// significant digits so output is bit-faithful.
+  void print_json(std::ostream& out) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Shortest-round-trip rendering of a double (17 significant digits) for
+/// the bit-faithful JSON path.
+[[nodiscard]] std::string format_exact(double v);
+
+}  // namespace findep::runtime

@@ -1,0 +1,11 @@
+#include "runtime/scenario.h"
+
+namespace findep::runtime {
+
+std::string Scenario::family() const {
+  const std::string n = name();
+  const std::size_t slash = n.find('/');
+  return slash == std::string::npos ? n : n.substr(0, slash);
+}
+
+}  // namespace findep::runtime

@@ -1,0 +1,133 @@
+#include "runtime/suite.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+
+#include "support/assert.h"
+#include "support/table.h"
+
+namespace findep::runtime {
+
+namespace {
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  // strtoull happily wraps "-1" to 2^64-1; only plain digits are valid.
+  if (text[0] == '\0') return false;
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+void print_usage(std::ostream& err) {
+  err << "usage: [--seed S] [--seeds K] [--threads T] [--only SUBSTR] "
+         "[--list] [--csv] [--json]\n";
+}
+
+}  // namespace
+
+bool parse_suite_options(int argc, const char* const* argv,
+                         SuiteOptions& options, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      options.list = true;
+      continue;
+    }
+    if (arg == "--csv") {
+      options.csv = true;
+      continue;
+    }
+    if (arg == "--json") {
+      options.json = true;
+      continue;
+    }
+    // Everything else takes a value.
+    if (i + 1 >= argc) {
+      print_usage(err);
+      return false;
+    }
+    const char* value = argv[++i];
+    std::uint64_t parsed = 0;
+    bool ok = true;
+    if (arg == "--seed") {
+      ok = parse_u64(value, options.sweep.base_seed);
+    } else if (arg == "--seeds") {
+      ok = parse_u64(value, parsed) && parsed > 0;
+      options.sweep.num_seeds = static_cast<std::size_t>(parsed);
+    } else if (arg == "--threads") {
+      ok = parse_u64(value, parsed);
+      options.sweep.threads = static_cast<std::size_t>(parsed);
+    } else if (arg == "--only") {
+      options.only = value;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      print_usage(err);
+      return false;
+    }
+  }
+  return true;
+}
+
+void ScenarioSuite::add(std::unique_ptr<Scenario> scenario) {
+  FINDEP_REQUIRE(scenario != nullptr);
+  scenarios_.push_back(std::move(scenario));
+}
+
+int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
+                       std::ostream& err) const {
+  if (options.list) {
+    for (const auto& scenario : scenarios_) out << scenario->name() << '\n';
+    return 0;
+  }
+
+  const SweepRunner runner(options.sweep);
+  MetricsSink sink;
+  for (const auto& scenario : scenarios_) {
+    const std::string name = scenario->name();
+    if (!options.only.empty() &&
+        name.find(options.only) == std::string::npos) {
+      continue;
+    }
+    sink.add(name, scenario->family(), runner.run(*scenario));
+  }
+
+  if (options.json) {
+    sink.print_json(out);
+  } else if (options.csv) {
+    sink.print_csv(out);
+  } else {
+    if (!intro_.empty()) support::print_banner(out, intro_);
+    out << "sweep: " << options.sweep.num_seeds << " seed(s) from --seed "
+        << options.sweep.base_seed << '\n';
+    sink.print_tables(out);
+  }
+
+  if (sink.any_errors()) {
+    for (const auto& entry : sink.entries()) {
+      for (const RunRecord& record : entry.records) {
+        if (!record.ok()) {
+          err << entry.scenario << " seed " << record.seed
+              << " failed: " << record.error << '\n';
+        }
+      }
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int ScenarioSuite::run_main(int argc, const char* const* argv) const {
+  SuiteOptions options;
+  if (!parse_suite_options(argc, argv, options, std::cerr)) return 2;
+  return run(options, std::cout, std::cerr);
+}
+
+}  // namespace findep::runtime

@@ -1,0 +1,73 @@
+// ScenarioSuite: the shared driver main for benches and examples.
+//
+// A driver registers its scenarios and delegates to run_main(), which
+// parses the uniform experiment flags, sweeps every scenario across the
+// requested seeds on a worker pool, and renders results through the
+// MetricsSink. This replaces the per-binary setup/run/aggregate loops the
+// old bench drivers each hand-rolled.
+//
+//   --seed S      master seed (default 1); every per-run seed derives
+//                 from it, so one flag reproduces an entire sweep
+//   --seeds K     seeds per scenario (default 3)
+//   --threads T   worker threads (default: hardware concurrency)
+//   --only SUB    run only scenarios whose name contains SUB
+//   --list        print scenario names and exit
+//   --csv / --json  machine-readable output instead of tables
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep.h"
+
+namespace findep::runtime {
+
+struct SuiteOptions {
+  SweepOptions sweep{.base_seed = 1, .num_seeds = 3, .threads = 0};
+  std::string only;  // substring filter; empty = all
+  bool list = false;
+  bool csv = false;
+  bool json = false;
+};
+
+/// Parses the uniform flags; returns false (after printing usage to
+/// `err`) on a malformed command line.
+[[nodiscard]] bool parse_suite_options(int argc, const char* const* argv,
+                                       SuiteOptions& options,
+                                       std::ostream& err);
+
+class ScenarioSuite {
+ public:
+  /// `intro` is printed (as a banner) before the results.
+  explicit ScenarioSuite(std::string intro) : intro_(std::move(intro)) {}
+
+  void add(std::unique_ptr<Scenario> scenario);
+
+  template <typename S, typename... Args>
+  void emplace(Args&&... args) {
+    add(std::make_unique<S>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return scenarios_.size();
+  }
+
+  /// Sweeps every (matching) scenario and renders results to `out`.
+  /// Returns a process exit code (non-zero when any run failed).
+  int run(const SuiteOptions& options, std::ostream& out,
+          std::ostream& err) const;
+
+  /// Convenience for driver main(): parse flags, run, return exit code.
+  int run_main(int argc, const char* const* argv) const;
+
+ private:
+  std::string intro_;
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+}  // namespace findep::runtime

@@ -1,0 +1,73 @@
+#include "runtime/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace findep::runtime {
+
+std::uint64_t derive_seed(std::uint64_t base_seed,
+                          std::size_t run_index) noexcept {
+  // splitmix64's state after i steps is base + i*gamma; mixing it yields
+  // the stream's i-th output without iterating.
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  return support::mix64(base_seed + kGamma * static_cast<std::uint64_t>(
+                                                 run_index + 1));
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
+  FINDEP_REQUIRE(options_.num_seeds > 0);
+}
+
+std::vector<RunRecord> SweepRunner::run(const Scenario& scenario) const {
+  const std::size_t n = options_.num_seeds;
+  std::vector<RunRecord> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records[i].seed = derive_seed(options_.base_seed, i);
+    records[i].run_index = i;
+  }
+
+  const auto execute = [&](std::size_t i) {
+    RunRecord& record = records[i];
+    try {
+      record.metrics =
+          scenario.run(RunContext{record.seed, record.run_index});
+    } catch (const std::exception& e) {
+      record.error = e.what();
+    } catch (...) {
+      record.error = "unknown exception";
+    }
+  };
+
+  std::size_t threads = options_.threads != 0
+                            ? options_.threads
+                            : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min(threads, n);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) execute(i);
+    return records;
+  }
+
+  // Work-stealing by atomic counter: workers claim run indices; each run
+  // writes only its own slot, so no further synchronization is needed.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n;
+           i = next.fetch_add(1)) {
+        execute(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return records;
+}
+
+}  // namespace findep::runtime

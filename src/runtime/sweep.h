@@ -1,0 +1,51 @@
+// SweepRunner: executes a scenario across K seeds on a worker pool.
+//
+// Determinism contract: run i of a sweep with base seed S always executes
+// with seed derive_seed(S, i); each run owns its whole simulation stack
+// (Scenario::run is a pure function of the context), and results land in
+// slot i of the output regardless of which worker finishes first. Hence a
+// sweep on any thread count — including 1 — produces bit-identical
+// per-seed records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/scenario.h"
+
+namespace findep::runtime {
+
+struct SweepOptions {
+  /// Master seed of the sweep; per-run seeds derive from it.
+  std::uint64_t base_seed = 1;
+  /// Number of seeds (runs) per scenario.
+  std::size_t num_seeds = 1;
+  /// Worker threads; 0 = hardware concurrency. Runs never share state,
+  /// so any value is safe.
+  std::size_t threads = 0;
+};
+
+/// Per-run seed derivation: one splitmix64 round over the base seed at
+/// gamma-stride `run_index` (the splitmix64 stream at position i).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::size_t run_index) noexcept;
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs `scenario` once per seed. The returned vector is indexed by
+  /// run_index (= ascending derive_seed order of definition); a run that
+  /// threw carries its message in `error` instead of metrics.
+  [[nodiscard]] std::vector<RunRecord> run(const Scenario& scenario) const;
+
+  [[nodiscard]] const SweepOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace findep::runtime

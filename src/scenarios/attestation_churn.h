@@ -1,0 +1,34 @@
+// Attestation-churn scenario (§III-B configuration discovery): n replicas
+// join a verifier-side registry *over the simulated network* via the
+// typed challenge–quote–admit wire protocol, with join times spread over
+// a churn window. Meters admission outcomes, traffic and sim-time
+// latency, then audits the reconstructed configuration distribution —
+// the exact input the diversity core consumes.
+#pragma once
+
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class AttestationChurnScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t replicas = 64;
+    /// Joins are spread uniformly over this many simulated seconds.
+    double churn_window = 60.0;
+    double zipf_exponent = 0.8;
+  };
+
+  explicit AttestationChurnScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,0 +1,51 @@
+#include "scenarios/bft_scaling.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace findep::scenarios {
+
+BftScalingScenario::BftScalingScenario(Params params)
+    : params_(std::move(params)) {
+  FINDEP_REQUIRE(params_.n >= 4);
+  FINDEP_REQUIRE(params_.requests > 0);
+  if (params_.label.empty()) {
+    params_.label = "n=" + std::to_string(params_.n);
+  }
+}
+
+std::string BftScalingScenario::name() const {
+  return "bft_scaling/" + params_.label;
+}
+
+runtime::MetricRecord BftScalingScenario::run(
+    const runtime::RunContext& ctx) const {
+  bft::ClusterOptions options;
+  options.seed = ctx.seed;
+  bft::BftCluster cluster(params_.n, options, params_.behaviors);
+  for (int i = 0; i < params_.requests; ++i) cluster.submit();
+  const bool completed = cluster.run_until_executed(
+      static_cast<std::size_t>(params_.requests), params_.deadline);
+
+  const auto requests = static_cast<std::uint64_t>(params_.requests);
+  const net::TrafficStats& stats = cluster.network().stats();
+  std::uint64_t view_changes = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    view_changes = std::max(view_changes,
+                            cluster.replica(i).view_changes_started());
+  }
+
+  runtime::MetricRecord metrics;
+  metrics.set("completed", completed ? 1.0 : 0.0);
+  metrics.set("latency_ms",
+              completed ? cluster.mean_latency() * 1000.0 : -1.0);
+  metrics.set("msgs_per_request",
+              static_cast<double>(stats.messages_sent / requests));
+  metrics.set("kib_per_request",
+              static_cast<double>(stats.bytes_sent / 1024 / requests));
+  metrics.set("max_view_changes", static_cast<double>(view_changes));
+  return metrics;
+}
+
+}  // namespace findep::scenarios

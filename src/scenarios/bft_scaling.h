@@ -1,0 +1,38 @@
+// The PBFT scaling scenario (§IV-B overhead side of the (κ, ω)
+// trade-off): one cluster size / behaviour mix per instance, swept across
+// seeds by the runtime. Replaces the hand-rolled run_cluster() loop of
+// the old bench driver — seeds now come exclusively from the RunContext,
+// so a whole sweep is reproducible from one --seed flag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bft/cluster.h"
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class BftScalingScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t n = 4;
+    /// May be shorter than n; missing entries are honest.
+    std::vector<bft::Behavior> behaviors;
+    int requests = 5;
+    double deadline = 240.0;
+    /// Optional display label ("silent primary"); default "n=<n>".
+    std::string label;
+  };
+
+  explicit BftScalingScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

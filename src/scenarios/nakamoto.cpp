@@ -1,0 +1,57 @@
+#include "scenarios/nakamoto.h"
+
+#include "nakamoto/attack.h"
+#include "nakamoto/miner.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace findep::scenarios {
+
+std::string ForkRateScenario::name() const {
+  return "fork_rate/delay=" +
+         support::Table::format_cell(params_.mean_one_way_delay) + "s";
+}
+
+runtime::MetricRecord ForkRateScenario::run(
+    const runtime::RunContext& ctx) const {
+  nakamoto::NakamotoOptions options;
+  options.mean_block_interval = params_.mean_block_interval;
+  options.network.min_latency = params_.mean_one_way_delay / 2.0;
+  options.network.mean_extra_latency = params_.mean_one_way_delay / 2.0;
+  options.seed = ctx.seed;
+  nakamoto::NakamotoSim sim(std::vector<double>(params_.miners, 1.0),
+                            options);
+  sim.run_for(params_.mean_block_interval * params_.horizon_blocks);
+  const nakamoto::ChainStats stats = sim.stats();
+
+  runtime::MetricRecord metrics;
+  metrics.set("delay_over_interval",
+              params_.mean_one_way_delay / params_.mean_block_interval);
+  metrics.set("blocks_mined", static_cast<double>(stats.total_blocks));
+  metrics.set("stale_rate_pct", stats.stale_rate * 100.0);
+  return metrics;
+}
+
+std::string DoubleSpendScenario::name() const {
+  return "double_spend/q=" +
+         support::Table::format_cell(params_.attacker_share);
+}
+
+runtime::MetricRecord DoubleSpendScenario::run(
+    const runtime::RunContext& ctx) const {
+  const double q = params_.attacker_share;
+  support::Rng rng(ctx.seed);
+
+  runtime::MetricRecord metrics;
+  metrics.set("closed_z1", nakamoto::attack_success_closed_form(q, 1));
+  metrics.set("closed_z2", nakamoto::attack_success_closed_form(q, 2));
+  metrics.set("closed_z6", nakamoto::attack_success_closed_form(q, 6));
+  metrics.set("monte_carlo_z6", nakamoto::attack_success_monte_carlo(
+                                    q, 6, params_.trials, rng));
+  metrics.set("z_for_0.1pct_risk", static_cast<double>(
+                                       nakamoto::confirmations_for_risk(
+                                           q, 0.001)));
+  return metrics;
+}
+
+}  // namespace findep::scenarios

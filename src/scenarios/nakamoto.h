@@ -1,0 +1,52 @@
+// Nakamoto-substrate scenarios: fork rate vs propagation delay, and the
+// double-spend race (closed form cross-validated by a seeded Monte-Carlo).
+// Replaces the setup loops of the old nakamoto_attack bench driver.
+#pragma once
+
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+/// Fork/stale rate of an honest mining race at one delay/interval point.
+class ForkRateScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    double mean_one_way_delay = 1.0;  // seconds
+    double mean_block_interval = 120.0;
+    std::size_t miners = 10;
+    /// Horizon in units of the block interval.
+    double horizon_blocks = 2000.0;
+  };
+
+  explicit ForkRateScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// Double-spend success for attacker share q: Nakamoto closed form at
+/// z ∈ {1, 2, 6}, Monte-Carlo at z = 6, and confirmations for <0.1% risk.
+class DoubleSpendScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    double attacker_share = 0.1;  // q
+    std::size_t trials = 40000;
+  };
+
+  explicit DoubleSpendScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

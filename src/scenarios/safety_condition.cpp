@@ -1,0 +1,58 @@
+#include "scenarios/safety_condition.h"
+
+#include <vector>
+
+#include "config/sampler.h"
+#include "diversity/analyzer.h"
+#include "diversity/metrics.h"
+#include "diversity/resilience.h"
+#include "faults/injector.h"
+#include "support/table.h"
+
+namespace findep::scenarios {
+
+std::string SafetyConditionScenario::name() const {
+  return "safety_condition/zipf=" +
+         support::Table::format_cell(params_.zipf_exponent);
+}
+
+runtime::MetricRecord SafetyConditionScenario::run(
+    const runtime::RunContext& ctx) const {
+  support::Rng rng(ctx.seed);
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::SamplerOptions options;
+  options.zipf_exponent = params_.zipf_exponent;
+  options.attestable_fraction = 0.5;
+  config::ConfigurationSampler sampler(catalog, options);
+
+  std::vector<diversity::ReplicaRecord> population;
+  for (const auto& cfg :
+       sampler.sample_population(rng, params_.replicas)) {
+    population.push_back(diversity::ReplicaRecord{cfg, 1.0, true});
+  }
+  const double entropy = diversity::shannon_entropy(
+      diversity::DiversityAnalyzer::distribution_of(population));
+
+  faults::FaultInjector injector(population);
+  support::Rng mc = rng.fork(1);
+
+  runtime::MetricRecord metrics;
+  metrics.set("entropy_bits", entropy);
+  metrics.set("p_third_k1",
+              injector.break_probability(1, diversity::kBftThreshold,
+                                         params_.trials, mc));
+  metrics.set("p_third_k2",
+              injector.break_probability(2, diversity::kBftThreshold,
+                                         params_.trials, mc));
+  metrics.set("p_third_k4",
+              injector.break_probability(4, diversity::kBftThreshold,
+                                         params_.trials, mc));
+  metrics.set("p_half_k4",
+              injector.break_probability(4, diversity::kNakamotoThreshold,
+                                         params_.trials, mc));
+  metrics.set("worst_k1",
+              injector.worst_case_components(1).compromised_fraction);
+  return metrics;
+}
+
+}  // namespace findep::scenarios

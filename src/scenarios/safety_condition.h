@@ -1,0 +1,33 @@
+// Safety-condition Monte-Carlo scenario (§II-C, f ≥ Σ f_t^i): for one
+// population skew, the probability that k random component faults push
+// compromised voting power past the BFT third / honest majority. The
+// population *and* the fault draws derive from the run seed, so a sweep
+// measures the spread over independent populations — which the old bench
+// driver (one hardcoded population per cell) could not.
+#pragma once
+
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class SafetyConditionScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    double zipf_exponent = 1.0;
+    std::size_t replicas = 100;
+    std::size_t trials = 2000;
+  };
+
+  explicit SafetyConditionScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,0 +1,36 @@
+#include "scenarios/selfish_mining.h"
+
+#include "nakamoto/selfish.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace findep::scenarios {
+
+std::string SelfishMiningScenario::name() const {
+  return "selfish_mining/alpha=" +
+         support::Table::format_cell(params_.alpha);
+}
+
+runtime::MetricRecord SelfishMiningScenario::run(
+    const runtime::RunContext& ctx) const {
+  support::Rng rng(ctx.seed);
+  // Independent substreams so the three γ simulations never share draws.
+  support::Rng rng_g0 = rng.fork(0);
+  support::Rng rng_g5 = rng.fork(1);
+  support::Rng rng_g1 = rng.fork(2);
+  const auto g0 = nakamoto::simulate_selfish_mining(params_.alpha, 0.0,
+                                                    params_.rounds, rng_g0);
+  const auto g5 = nakamoto::simulate_selfish_mining(params_.alpha, 0.5,
+                                                    params_.rounds, rng_g5);
+  const auto g1 = nakamoto::simulate_selfish_mining(params_.alpha, 1.0,
+                                                    params_.rounds, rng_g1);
+
+  runtime::MetricRecord metrics;
+  metrics.set("revenue_g0", g0.revenue_share());
+  metrics.set("revenue_g05", g5.revenue_share());
+  metrics.set("revenue_g1", g1.revenue_share());
+  metrics.set("advantage_g05", g5.advantage());
+  return metrics;
+}
+
+}  // namespace findep::scenarios

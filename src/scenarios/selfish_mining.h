@@ -1,0 +1,31 @@
+// Selfish-mining scenario (Eyal–Sirer baseline, §I "majority is not
+// enough"): one attacker hashrate α per instance, simulated at the three
+// canonical race-win fractions γ ∈ {0, 0.5, 1}. Replaces the Rng reuse
+// across cells of the old bench driver — each seed gets independent
+// substreams per γ.
+#pragma once
+
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class SelfishMiningScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    double alpha = 0.25;
+    std::size_t rounds = 1'000'000;
+  };
+
+  explicit SelfishMiningScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,0 +1,198 @@
+// Typed envelopes: dispatch, the shared-body broadcast contract, traffic
+// accounting, and the attestation wire protocol over the network.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attest/authority.h"
+#include "attest/registry.h"
+#include "attest/service.h"
+#include "config/sampler.h"
+#include "net/envelope.h"
+#include "net/gossip.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace findep::net {
+namespace {
+
+NetworkOptions fast_network() {
+  NetworkOptions opt;
+  opt.min_latency = 0.01;
+  opt.mean_extra_latency = 0.01;
+  return opt;
+}
+
+TEST(Envelope, EmptyReadsAsMonostate) {
+  Envelope envelope;
+  EXPECT_TRUE(envelope.empty());
+  EXPECT_EQ(envelope.get<Probe>(), nullptr);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(envelope.body()));
+  EXPECT_STREQ(family_name(envelope), "empty");
+  EXPECT_EQ(envelope.body_use_count(), 0);
+}
+
+TEST(Envelope, TypedAccessAndVisit) {
+  const Envelope envelope(Probe{7, "hi"});
+  ASSERT_NE(envelope.get<Probe>(), nullptr);
+  EXPECT_EQ(envelope.get<Probe>()->value, 7);
+  EXPECT_EQ(envelope.get<GossipItem>(), nullptr);
+  EXPECT_STREQ(family_name(envelope), "probe");
+  const bool saw_probe = envelope.visit([](const auto& body) {
+    return std::is_same_v<std::decay_t<decltype(body)>, Probe>;
+  });
+  EXPECT_TRUE(saw_probe);
+}
+
+TEST(Envelope, CopiesShareOneBody) {
+  const Envelope a(Probe{1, {}});
+  EXPECT_EQ(a.body_use_count(), 1);
+  const Envelope b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.body_use_count(), 2);
+  EXPECT_EQ(a.get<Probe>(), b.get<Probe>());  // same object, not a copy
+}
+
+// The tentpole contract: broadcast() schedules one delivery per
+// recipient but never deep-copies the payload — every pending delivery
+// aliases the sender's body.
+TEST(Envelope, BroadcastSharesOneBodyAcrossAllRecipients) {
+  sim::Simulator sim;
+  SimNetwork net(sim, fast_network());
+  int received = 0;
+  const Probe* delivered_body = nullptr;
+  for (NodeId n = 0; n < 5; ++n) {
+    net.attach(n, [&](const Message& m) {
+      ++received;
+      delivered_body = m.envelope.get<Probe>();
+    });
+  }
+  const Envelope envelope(Probe{42, "shared"});
+  net.broadcast(0, envelope);
+  // Sender's handle + one per scheduled delivery (4 recipients).
+  EXPECT_EQ(envelope.body_use_count(), 5);
+  sim.run();
+  EXPECT_EQ(received, 4);
+  EXPECT_EQ(envelope.body_use_count(), 1);  // deliveries released
+  EXPECT_EQ(delivered_body, envelope.get<Probe>());
+}
+
+// Satellite contract: sharing the body must not change traffic
+// accounting — a broadcast bills bytes exactly like the per-recipient
+// send() loop it replaced.
+TEST(Envelope, BroadcastBytesAccountingMatchesPerRecipientSends) {
+  const auto run = [&](bool use_broadcast) {
+    sim::Simulator sim;
+    SimNetwork net(sim, fast_network());
+    for (NodeId n = 0; n < 6; ++n) net.attach(n, [](const Message&) {});
+    const Envelope envelope(Probe{1, {}});
+    if (use_broadcast) {
+      net.broadcast(2, envelope, 300);
+    } else {
+      for (NodeId to = 0; to < 6; ++to) {
+        if (to != 2) net.send(2, to, envelope, 300);
+      }
+    }
+    sim.run();
+    return net.stats();
+  };
+  const TrafficStats broadcast = run(true);
+  const TrafficStats loop = run(false);
+  EXPECT_EQ(broadcast.messages_sent, 5u);
+  EXPECT_EQ(broadcast.bytes_sent, 5u * 300u);
+  EXPECT_EQ(broadcast.messages_sent, loop.messages_sent);
+  EXPECT_EQ(broadcast.bytes_sent, loop.bytes_sent);
+  EXPECT_EQ(broadcast.messages_delivered, loop.messages_delivered);
+}
+
+TEST(Envelope, GossipItemsCarryTypedBlocks) {
+  sim::Simulator sim;
+  SimNetwork net(sim, fast_network());
+  std::vector<NodeId> nodes = {0, 1, 2, 3};
+  std::size_t blocks_seen = 0;
+  GossipOverlay overlay(net, nodes, 2, 5,
+                        [&](NodeId, const GossipItem& item) {
+                          if (item.block() != nullptr) ++blocks_seen;
+                        });
+  nakamoto::Block block;
+  block.hash = crypto::sha256("blk");
+  block.parent = nakamoto::genesis().hash;
+  block.height = 1;
+  GossipItem item;
+  item.id = block.hash;
+  item.content = block;
+  overlay.publish(0, item);
+  sim.run();
+  EXPECT_EQ(blocks_seen, nodes.size());
+}
+
+TEST(AttestWire, EnrollmentOverNetworkAdmitsGenuinePlatforms) {
+  support::Rng rng(11);
+  crypto::KeyRegistry keys;
+  attest::AttestationAuthority authority(keys, rng);
+  attest::AttestationRegistry registry(keys, authority.root_key());
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(
+      catalog, config::SamplerOptions{.zipf_exponent = 0.5,
+                                      .attestable_fraction = 1.0});
+
+  std::vector<attest::PlatformModule> platforms;
+  for (int i = 0; i < 3; ++i) {
+    const auto cfg = sampler.sample(rng);
+    const auto hw = cfg.component(config::ComponentKind::kTrustedHardware);
+    platforms.emplace_back(keys, rng, authority, *hw, cfg);
+  }
+
+  sim::Simulator sim;
+  SimNetwork net(sim, fast_network());
+  attest::RegistryService service(net, 99, registry);
+  std::vector<std::unique_ptr<attest::EnrollmentClient>> clients;
+  for (std::size_t i = 0; i < platforms.size(); ++i) {
+    clients.push_back(std::make_unique<attest::EnrollmentClient>(
+        net, static_cast<NodeId>(i), 99, platforms[i], 1.0));
+    clients.back()->enroll();
+  }
+  sim.run();
+
+  EXPECT_EQ(service.challenges_issued(), 3u);
+  EXPECT_EQ(service.admitted(), 3u);
+  EXPECT_EQ(service.rejected(), 0u);
+  EXPECT_EQ(registry.size(), 3u);
+  for (const auto& client : clients) {
+    ASSERT_TRUE(client->decided());
+    EXPECT_TRUE(client->admitted());
+    EXPECT_GT(client->enrollment_latency(), 0.0);  // two round-trips
+  }
+}
+
+TEST(AttestWire, RogueAuthorityIsRejectedOverNetwork) {
+  support::Rng rng(12);
+  crypto::KeyRegistry keys;
+  attest::AttestationAuthority genuine(keys, rng);
+  attest::AttestationAuthority rogue(keys, rng);
+  attest::AttestationRegistry registry(keys, genuine.root_key());
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(
+      catalog, config::SamplerOptions{.zipf_exponent = 0.5,
+                                      .attestable_fraction = 1.0});
+  const auto cfg = sampler.sample(rng);
+  const auto hw = cfg.component(config::ComponentKind::kTrustedHardware);
+  // Endorsed by the wrong root: the quote chain cannot verify.
+  attest::PlatformModule impostor(keys, rng, rogue, *hw, cfg);
+
+  sim::Simulator sim;
+  SimNetwork net(sim, fast_network());
+  attest::RegistryService service(net, 99, registry);
+  attest::EnrollmentClient client(net, 0, 99, impostor, 1.0);
+  client.enroll();
+  sim.run();
+
+  EXPECT_EQ(service.admitted(), 0u);
+  EXPECT_EQ(service.rejected(), 1u);
+  ASSERT_TRUE(client.decided());
+  EXPECT_FALSE(client.admitted());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace findep::net

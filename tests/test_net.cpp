@@ -24,9 +24,11 @@ TEST(Network, DeliversWithLatencyFloor) {
   std::string received;
   net.attach(1, [&](const Message& m) {
     delivered_at = sim.now();
-    received = std::any_cast<std::string>(m.payload);
+    const Probe* probe = m.envelope.get<Probe>();
+    ASSERT_NE(probe, nullptr);
+    received = probe->note;
   });
-  net.send(0, 1, std::string("hello"));
+  net.send(0, 1, Probe{0, "hello"});
   sim.run();
   EXPECT_EQ(received, "hello");
   EXPECT_GE(delivered_at, 0.01);
@@ -37,7 +39,7 @@ TEST(Network, SelfSendIsImmediate) {
   SimNetwork net(sim, fast_network());
   double delivered_at = -1.0;
   net.attach(3, [&](const Message&) { delivered_at = sim.now(); });
-  net.send(3, 3, 42);
+  net.send(3, 3, Probe{42, {}});
   sim.run();
   EXPECT_DOUBLE_EQ(delivered_at, 0.0);
 }
@@ -45,7 +47,7 @@ TEST(Network, SelfSendIsImmediate) {
 TEST(Network, UnattachedDestinationCountsDropped) {
   sim::Simulator sim;
   SimNetwork net(sim, fast_network());
-  net.send(0, 7, 1);
+  net.send(0, 7, Probe{1, {}});
   sim.run();
   EXPECT_EQ(net.stats().messages_dropped, 1u);
   EXPECT_EQ(net.stats().messages_delivered, 0u);
@@ -59,7 +61,7 @@ TEST(Network, DropProbabilityLosesAboutThatFraction) {
   int received = 0;
   net.attach(1, [&](const Message&) { ++received; });
   constexpr int kN = 2000;
-  for (int i = 0; i < kN; ++i) net.send(0, 1, i);
+  for (int i = 0; i < kN; ++i) net.send(0, 1, Probe{i, {}});
   sim.run();
   EXPECT_NEAR(received, kN * 7 / 10, kN / 20);
   EXPECT_EQ(net.stats().messages_sent, static_cast<std::uint64_t>(kN));
@@ -74,13 +76,13 @@ TEST(Network, PartitionsCutCrossGroupTraffic) {
   net.attach(0, [&](const Message&) { ++a_received; });
   net.attach(1, [&](const Message&) { ++b_received; });
   net.set_partition_group(0, 1);  // node 0 isolated from group 0
-  net.send(0, 1, 1);
-  net.send(1, 0, 2);
+  net.send(0, 1, Probe{1, {}});
+  net.send(1, 0, Probe{2, {}});
   sim.run();
   EXPECT_EQ(a_received + b_received, 0);
 
   net.heal_partitions();
-  net.send(0, 1, 3);
+  net.send(0, 1, Probe{3, {}});
   sim.run();
   EXPECT_EQ(b_received, 1);
 }
@@ -94,12 +96,12 @@ TEST(Network, FilterDropsSelectedLinks) {
   net.set_filter([](NodeId from, NodeId to) {
     return !(from == 0 && to == 1);  // adversary cuts 0 -> 1 only
   });
-  net.send(0, 1, 1);
-  net.send(0, 2, 2);
+  net.send(0, 1, Probe{1, {}});
+  net.send(0, 2, Probe{2, {}});
   sim.run();
   EXPECT_EQ(received, 1);
   net.set_filter(nullptr);
-  net.send(0, 1, 3);
+  net.send(0, 1, Probe{3, {}});
   sim.run();
   EXPECT_EQ(received, 2);
 }
@@ -113,7 +115,7 @@ TEST(Network, DelayPolicyPostponesDelivery) {
   double delivered_at = -1.0;
   net.attach(1, [&](const Message&) { delivered_at = sim.now(); });
   net.set_delay_policy([](NodeId, NodeId) { return 5.0; });
-  net.send(0, 1, 1);
+  net.send(0, 1, Probe{1, {}});
   sim.run();
   EXPECT_GE(delivered_at, 5.01);
 }
@@ -125,7 +127,7 @@ TEST(Network, BroadcastReachesEveryoneButSender) {
   for (NodeId n = 0; n < 4; ++n) {
     net.attach(n, [&hits, n](const Message&) { ++hits[n]; });
   }
-  net.broadcast(2, std::string("all"));
+  net.broadcast(2, Probe{0, "all"});
   sim.run();
   EXPECT_EQ(hits[0], 1);
   EXPECT_EQ(hits[1], 1);
@@ -137,8 +139,8 @@ TEST(Network, BytesAccounting) {
   sim::Simulator sim;
   SimNetwork net(sim, fast_network());
   net.attach(1, [](const Message&) {});
-  net.send(0, 1, 1, 1000);
-  net.send(0, 1, 2, 24);
+  net.send(0, 1, Probe{1, {}}, 1000);
+  net.send(0, 1, Probe{2, {}}, 24);
   sim.run();
   EXPECT_EQ(net.stats().bytes_sent, 1024u);
   net.reset_stats();
@@ -157,7 +159,6 @@ TEST(Gossip, FloodReachesEveryNodeExactlyOnce) {
                         });
   GossipItem item;
   item.id = crypto::sha256("item-1");
-  item.payload = std::string("payload");
   overlay.publish(5, item);
   sim.run();
   for (std::size_t n = 0; n < nodes.size(); ++n) {

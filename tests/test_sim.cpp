@@ -152,6 +152,47 @@ TEST(Simulator, ZeroDelaySelfScheduleAtSameTimestamp) {
   EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
 
+TEST(Simulator, CancelFromInsideCallbackSkipsSameTimestampPeer) {
+  Simulator sim;
+  bool peer_ran = false;
+  EventId peer = 0;
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(peer)); });
+  peer = sim.schedule_at(1.0, [&] { peer_ran = true; });
+  sim.run();
+  EXPECT_FALSE(peer_ran);
+  EXPECT_EQ(sim.executed_count(), 1u);
+}
+
+TEST(Simulator, RunUntilExecutesEventExactlyAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(2.0, [&] { ran = true; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, CancelSurvivesRunUntilRequeue) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(5.0, [&] { ran = true; });
+  sim.run_until(4.0);  // pops and requeues the 5.0 event
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_count(), 0u);
+}
+
+TEST(Simulator, RunUntilRejectsPastDeadline) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(10.0), 0u);  // idle advance
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  // The clock is monotone: a deadline behind now() violates the
+  // precondition rather than silently rewinding.
+  EXPECT_THROW(sim.run_until(3.0), support::ContractViolation);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
 TEST(Simulator, RunUntilKeepsTieOrderAcrossRequeue) {
   Simulator sim;
   std::vector<int> order;
