@@ -6,17 +6,13 @@
 //
 // Expected shape: per-replica admission cost is flat (two round-trips,
 // O(1) verification); entropy grows with the population.
-#include "runtime/suite.h"
-#include "scenarios/attestation_churn.h"
+//
+// Thin driver: the `attestation_churn` family and its default grid live
+// in src/scenarios/attestation_churn.cpp.
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  using findep::scenarios::AttestationChurnScenario;
-
-  findep::runtime::ScenarioSuite suite(
+  return findep::runtime::run_families_main(
+      argc, argv, {"attestation_churn"},
       "Attestation pipeline over the network vs registry size");
-  for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
-    suite.emplace<AttestationChurnScenario>(
-        AttestationChurnScenario::Params{.replicas = n});
-  }
-  return suite.run_main(argc, argv);
 }

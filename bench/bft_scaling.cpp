@@ -8,30 +8,12 @@
 // messages per request grow quadratically; a silent minority slows
 // nothing fundamentally, while a silent primary costs a view change.
 //
-// All setup/run/aggregate plumbing lives in the runtime harness; every
-// row below is one Scenario instance swept across --seeds seeds.
-#include "runtime/suite.h"
-#include "scenarios/bft_scaling.h"
+// Thin driver: the `bft_scaling` family and its default grid (size sweep
+// plus n = 7 fault mixes) live in src/scenarios/bft_scaling.cpp.
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  using findep::bft::Behavior;
-  using findep::scenarios::BftScalingScenario;
-
-  findep::runtime::ScenarioSuite suite(
+  return findep::runtime::run_families_main(
+      argc, argv, {"bft_scaling"},
       "PBFT scaling: cluster sizes and fault mixes");
-  for (const std::size_t n : {4u, 7u, 10u, 16u, 25u, 40u}) {
-    suite.emplace<BftScalingScenario>(BftScalingScenario::Params{.n = n});
-  }
-  const auto faulty = [&](std::string label,
-                          std::vector<Behavior> behaviors) {
-    suite.emplace<BftScalingScenario>(BftScalingScenario::Params{
-        .n = 7, .behaviors = std::move(behaviors),
-        .label = std::move(label)});
-  };
-  faulty("n=7 1 silent backup", {Behavior::kHonest, Behavior::kSilent});
-  faulty("n=7 2 silent backups",
-         {Behavior::kHonest, Behavior::kSilent, Behavior::kSilent});
-  faulty("n=7 silent primary", {Behavior::kSilent});
-  faulty("n=7 equivocating primary", {Behavior::kEquivocate});
-  return suite.run_main(argc, argv);
 }

@@ -8,56 +8,13 @@
 // Expected shape: worst component exposure tracks the cap down to the
 // population's structural floor; admitted power falls in exchange — the
 // same performance/reliability trade the paper notes for abundance.
-#include <iostream>
+//
+// Thin driver: the `component_cap` family lives in
+// src/scenarios/component_cap.cpp.
+#include "runtime/registry.h"
 
-#include "committee/diversity_aware.h"
-#include "config/sampler.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::committee;
-
-  support::print_banner(std::cout,
-                        "Component-aware committee caps (40 candidates, "
-                        "zipf-skewed software market)");
-
-  crypto::KeyRegistry keys;
-  StakeRegistry stake;
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  config::SamplerOptions opts;
-  opts.zipf_exponent = 1.0;
-  opts.attestable_fraction = 1.0;
-  config::ConfigurationSampler sampler(catalog, opts);
-  support::Rng rng(404);
-  std::vector<ParticipantId> everyone;
-  for (std::size_t i = 0; i < 40; ++i) {
-    const auto kp = crypto::KeyPair::derive(8800 + i);
-    keys.enroll(kp);
-    everyone.push_back(stake.add("p" + std::to_string(i),
-                                 rng.uniform(1.0, 3.0), sampler.sample(rng),
-                                 true, kp.public_key()));
-  }
-
-  support::Table table({"component cap", "worst component exposure",
-                        "worst config share", "admitted power %",
-                        "H bits", "faults >1/3"});
-  for (const double cap : {1.0, 0.5, 1.0 / 3.0, 0.25, 0.15, 0.10}) {
-    SelectionPolicy policy;
-    policy.per_config_cap = 0.25;
-    policy.per_component_cap = cap;
-    const Committee c = form_committee(stake, everyone, policy);
-    table.add(cap, c.worst_component_exposure,
-              diversity::berger_parker(c.distribution),
-              c.admitted_fraction * 100.0, c.entropy_bits,
-              c.bft.min_faults);
-  }
-  table.print(std::cout);
-
-  std::cout << "\npaper check: bounding per-component exposure bounds the "
-               "true single-fault blast radius Σ f_i of §II-C — at the "
-               "price of discounted honest power (the caps cannot beat "
-               "the structural floor set by the candidate pool's own "
-               "monoculture).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"component_cap"},
+      "Component-aware committee caps (zipf-skewed software market)");
 }

@@ -1,68 +1,17 @@
-// EX1 — regenerates Example 1: the 17-pool Bitcoin distribution and its
-// entropy, compared against uniform BFT systems of growing size.
+// EX1 — regenerates Example 1: the 17-pool Bitcoin distribution's
+// entropy compared against uniform BFT systems of growing size.
 //
 // Expected shape (paper): Bitcoin's best-case entropy < 3 bits while an
-// 8-replica uniform BFT already reaches exactly 3 bits; the oligopoly (top
-// pool 34%, top-2 > 50%) means one configuration fault breaks the BFT
-// third and two break the honest majority.
-#include <iostream>
+// 8-replica uniform BFT already reaches exactly 3 bits; the oligopoly
+// (top pool 34%, top-2 > 50%) means one configuration fault breaks the
+// BFT third and two break the honest majority.
+//
+// Thin driver: the `example1_entropy` family lives in
+// src/scenarios/bitcoin.cpp.
+#include "runtime/registry.h"
 
-#include "diversity/datasets.h"
-#include "diversity/metrics.h"
-#include "diversity/resilience.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Example 1a: the 2023-02-02 Bitcoin mining-pool "
-                        "distribution");
-  {
-    support::Table table({"pool", "share %", "cumulative %"});
-    const auto shares = datasets::bitcoin_pool_shares_percent();
-    const auto names = datasets::bitcoin_pool_names();
-    double cumulative = 0.0;
-    for (std::size_t i = 0; i < shares.size(); ++i) {
-      cumulative += shares[i];
-      table.add(std::string(names[i]), shares[i], cumulative);
-    }
-    table.add(std::string("(residual, uniform)"),
-              datasets::bitcoin_residual_percent(), 100.0);
-    table.print(std::cout);
-  }
-
-  support::print_banner(std::cout,
-                        "Example 1b: Bitcoin vs uniform BFT entropy");
-  {
-    support::Table table({"system", "configs", "H bits", "min faults >1/3",
-                          "min faults >1/2"});
-    const ConfigDistribution bitcoin =
-        datasets::bitcoin_best_case_distribution(101);
-    table.add(std::string("Bitcoin (x=101, 118 miners)"),
-              bitcoin.support_size(), shannon_entropy(bitcoin),
-              min_faults_to_exceed(bitcoin, kBftThreshold),
-              min_faults_to_exceed(bitcoin, kNakamotoThreshold));
-    for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
-      const ConfigDistribution bft = ConfigDistribution::uniform(n);
-      table.add("uniform BFT n=" + std::to_string(n), n,
-                shannon_entropy(bft),
-                min_faults_to_exceed(bft, kBftThreshold),
-                min_faults_to_exceed(bft, kNakamotoThreshold));
-    }
-    table.print(std::cout);
-
-    const double h_bitcoin = shannon_entropy(bitcoin);
-    std::cout << "\npaper check: Bitcoin entropy (" << h_bitcoin
-              << ") < BFT-8 entropy (3.0): "
-              << (h_bitcoin < 3.0 ? "YES" : "NO") << '\n';
-    std::cout << "paper check: one fault breaks Bitcoin's BFT third "
-                 "(Foundry 34.2% > 1/3): "
-              << (min_faults_to_exceed(bitcoin, kBftThreshold) == 1
-                      ? "YES"
-                      : "NO")
-              << '\n';
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"example1_entropy"},
+      "Example 1: Bitcoin 2023-02-02 snapshot vs uniform BFT entropy");
 }

@@ -2,42 +2,16 @@
 // replica diversity as the residual 0.87% hashrate is spread uniformly
 // over x = 1..1000 additional miners.
 //
-// Expected shape (paper): a monotone but saturating curve that stays below
-// 3 bits everywhere — i.e. below an 8-replica uniform BFT system — because
-// the 17-pool oligopoly dominates the distribution.
-#include <cmath>
-#include <iostream>
+// Expected shape (paper): a monotone but saturating curve that stays
+// below 3 bits everywhere — i.e. below an 8-replica uniform BFT system —
+// because the 17-pool oligopoly dominates the distribution.
+//
+// Thin driver: the `fig1_entropy` family lives in
+// src/scenarios/bitcoin.cpp.
+#include "runtime/registry.h"
 
-#include "diversity/datasets.h"
-#include "diversity/metrics.h"
-#include "diversity/optimality.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Figure 1: best-case entropy of Bitcoin replica "
-                        "diversity (2023-02-02 pool snapshot)");
-
-  const auto series = datasets::figure1_entropy_series(1000);
-  support::Table table({"x (residual miners)", "miners total",
-                        "H(p) bits", "2^H (effective configs)",
-                        "gap to BFT-8 (bits)"});
-  for (const std::size_t x :
-       {1u,   2u,   5u,   10u,  20u,  50u,  101u, 200u,
-        300u, 400u, 500u, 600u, 700u, 800u, 900u, 1000u}) {
-    const double h = series[x - 1];
-    table.add(x, x + datasets::kBitcoinPoolCount, h, std::exp2(h),
-              3.0 - h);
-  }
-  table.print(std::cout);
-
-  const double h_max = series.back();
-  std::cout << "\npaper check: entropy stays below 3 bits for all x: "
-            << (h_max < 3.0 ? "YES" : "NO") << " (max " << h_max << ")\n";
-  std::cout << "equivalent uniform-BFT size at x=1000: "
-            << equivalent_uniform_configs(h_max) << " replicas (paper: 8)\n";
-  return h_max < 3.0 ? 0 : 1;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"fig1_entropy"},
+      "Figure 1: best-case entropy of Bitcoin replica diversity");
 }

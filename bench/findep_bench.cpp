@@ -1,0 +1,23 @@
+// findep-bench — the unified experiment CLI over the scenario registry.
+//
+// Every scenario family in the repository (all former bench drivers and
+// examples) registers itself with the process-wide ScenarioRegistry; this
+// binary can list, filter, re-parameterize and run any of them:
+//
+//   findep-bench --list                       # families, grids, sizes
+//   findep-bench --family bft_scaling         # one family, default grid
+//   findep-bench --family fig1_entropy --set x=1,10,100,1000
+//   findep-bench --only "alpha=2" --seeds 16 --json
+//   findep-bench --seeds 1                    # whole catalog, one seed
+//
+// All selected scenarios are swept through ONE global (scenario, seed)
+// work queue, so even --seeds 1 fills every core; per-run results are
+// bit-identical to --threads 1 (see DESIGN.md for the contract and the
+// `micro` family's measured-timing exemption).
+#include "runtime/registry.h"
+
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, /*default_families=*/{},
+      "findep-bench: the registered scenario catalog");
+}

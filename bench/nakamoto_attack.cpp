@@ -1,81 +1,19 @@
 // NAK — the Nakamoto substrate: (a) fork rate vs propagation delay,
-// (b) the §I attack pipeline — a single component fault hands the attacker
-// the combined hashrate of every pool sharing that component, escalating
-// the double-spend success probability.
+// (b) the double-spend race, (c) the §I attack pipeline — a single
+// component fault hands the attacker the combined hashrate of every pool
+// sharing that component, escalating the double-spend success
+// probability.
 //
 // Expected shape: fork rate grows with delay/interval ratio; attack
 // success at 6 confirmations jumps from ≈0.3% (lone 10% pool) to ≈100%
 // once a shared component aggregates >50% hashrate.
-#include <string>
-
-#include "config/catalog.h"
-#include "faults/injector.h"
-#include "nakamoto/attack.h"
-#include "nakamoto/pools.h"
-#include "runtime/suite.h"
-#include "scenarios/nakamoto.h"
-
-namespace {
-
-using namespace findep;
-
-/// Pool-software compromise: one component fault -> aggregated hashrate
-/// -> double-spend success. A driver-local scenario: the zipf-skewed pool
-/// assignment derives from the run seed.
-class PoolCompromiseScenario : public runtime::Scenario {
- public:
-  PoolCompromiseScenario(std::string label, bool unique_configs)
-      : label_(std::move(label)), unique_configs_(unique_configs) {}
-
-  [[nodiscard]] std::string name() const override {
-    return "pool_compromise/" + label_;
-  }
-
-  [[nodiscard]] runtime::MetricRecord run(
-      const runtime::RunContext& ctx) const override {
-    const config::ComponentCatalog catalog =
-        label_ == "monoculture" ? config::monoculture_catalog()
-                                : config::standard_catalog();
-    const nakamoto::PoolSet pools =
-        unique_configs_ ? nakamoto::PoolSet::example1(catalog, true)
-                        : nakamoto::PoolSet::example1(catalog, false,
-                                                      ctx.seed);
-    faults::FaultInjector injector(pools.as_population());
-    const double q = injector.worst_case_components(1).compromised_fraction;
-
-    runtime::MetricRecord metrics;
-    metrics.set("worst_1fault_share", q);
-    metrics.set("attack_z6", nakamoto::attack_success_closed_form(q, 6));
-    metrics.set("attack_z24", nakamoto::attack_success_closed_form(q, 24));
-    return metrics;
-  }
-
- private:
-  std::string label_;
-  bool unique_configs_;
-};
-
-}  // namespace
+//
+// Thin driver: the `fork_rate`, `double_spend` and `pool_compromise`
+// families live in src/scenarios/nakamoto.cpp.
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  using findep::scenarios::DoubleSpendScenario;
-  using findep::scenarios::ForkRateScenario;
-
-  findep::runtime::ScenarioSuite suite(
-      "Nakamoto substrate: fork rates and the correlated-fault attack "
-      "pipeline");
-  for (const double delay : {0.1, 1.0, 5.0, 15.0, 40.0}) {
-    suite.emplace<ForkRateScenario>(
-        ForkRateScenario::Params{.mean_one_way_delay = delay});
-  }
-  for (const double q : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
-    suite.emplace<DoubleSpendScenario>(
-        DoubleSpendScenario::Params{.attacker_share = q});
-  }
-  suite.emplace<PoolCompromiseScenario>("paper best case (unique configs)",
-                                        true);
-  suite.emplace<PoolCompromiseScenario>("realistic (zipf-skewed software)",
-                                        false);
-  suite.emplace<PoolCompromiseScenario>("monoculture", false);
-  return suite.run_main(argc, argv);
+  return findep::runtime::run_families_main(
+      argc, argv, {"fork_rate", "double_spend", "pool_compromise"},
+      "Nakamoto substrate: fork rates and the correlated-fault attack pipeline");
 }

@@ -1,66 +1,18 @@
 // RECOV — proactive recovery ablation (§III-A's proactive-security
 // pointer, executed): exposed voting power over a year as a function of
-// the rejuvenation period, against patch-lag-only operation.
+// the rejuvenation period, against patch-lag-only operation (period 0).
 //
 // Expected shape: peak exposure and time-above-1/3 fall monotonically as
 // the recovery period shrinks; recovery bounds the *post-patch* tail (it
 // cannot shorten zero-day windows), so even aggressive schedules leave a
 // floor set by disclosure→patch latency.
-#include <iostream>
+//
+// Thin driver: the `proactive_recovery` family lives in
+// src/scenarios/proactive_recovery.cpp.
+#include "runtime/registry.h"
 
-#include "config/sampler.h"
-#include "diversity/manager.h"
-#include "faults/recovery.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::faults;
-
-  support::print_banner(std::cout,
-                        "Proactive recovery: one-year exposure vs "
-                        "rejuvenation period (24 replicas, Lazarus-diverse)");
-
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  // Vendors patch quickly (5 days); the *fleet* deploys slowly (45-day
-  // mean lag) — the regime where rejuvenation helps most, since recovery
-  // bounds the deploy tail but cannot shorten zero-day windows.
-  SynthesisOptions synth;
-  synth.mean_vulns_per_component = 0.8;
-  synth.horizon_days = 365.0;
-  synth.mean_patch_latency_days = 5.0;
-  const VulnerabilityCatalog vulns = synthesize_catalog(catalog, synth);
-
-  std::vector<diversity::ReplicaRecord> population;
-  for (const auto& cfg :
-       diversity::LazarusStyleAssigner(catalog).assign(24)) {
-    population.push_back(diversity::ReplicaRecord{cfg, 1.0, true});
-  }
-  PatchLagModel patching;
-  patching.mean_deploy_lag_days = 45.0;  // sluggish fleet operations
-
-  support::Table table({"recovery period (days)", "peak exposed %",
-                        "days >1/3", "days >1/2"});
-  const ExposureTimeline none =
-      compute_exposure(population, vulns, 365.0, 366, patching);
-  table.add(std::string("none (patch lag only)"),
-            none.peak_exposed_fraction * 100.0,
-            none.time_above_bft_threshold * 365.0,
-            none.time_above_majority_threshold * 365.0);
-  for (const double period : {180.0, 90.0, 30.0, 14.0, 7.0, 2.0}) {
-    RecoverySchedule schedule;
-    schedule.period_days = period;
-    const ExposureTimeline timeline = compute_exposure_with_recovery(
-        population, vulns, 365.0, 366, patching, schedule);
-    table.add(period, timeline.peak_exposed_fraction * 100.0,
-              timeline.time_above_bft_threshold * 365.0,
-              timeline.time_above_majority_threshold * 365.0);
-  }
-  table.print(std::cout);
-
-  std::cout << "\npaper check: rejuvenation bounds the post-patch tail of "
-               "every vulnerability window by the recovery period; the "
-               "remaining floor is the zero-day (pre-patch) exposure that "
-               "only diversity can dilute.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"proactive_recovery"},
+      "Proactive recovery: one-year exposure vs rejuvenation period");
 }

@@ -4,46 +4,13 @@
 //
 // Expected shape: the "uniform growth" column is flat at log2 κ; the
 // "skewed growth" column decreases monotonically as the skew increases.
-#include <iostream>
-#include <vector>
+//
+// Thin driver: the `prop1_entropy` family lives in
+// src/scenarios/propositions.cpp.
+#include "runtime/registry.h"
 
-#include "diversity/metrics.h"
-#include "diversity/propositions.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Proposition 1: abundance growth vs entropy "
-                        "(κ = 16, base H = 4 bits)");
-
-  constexpr std::size_t kKappa = 16;
-  const ConfigDistribution base = ConfigDistribution::uniform(kKappa);
-
-  support::Table table({"skew (max/min growth)", "H uniform growth",
-                        "H skewed growth", "entropy lost (bits)",
-                        "Prop.1 holds"});
-  for (const double skew : {1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0}) {
-    // Uniform growth: every configuration ×2.
-    const Prop1Result uniform =
-        check_proposition1(base, std::vector<double>(kKappa, 2.0));
-    // Skewed growth: configuration i grows by 1 + (skew-1)·i/(κ-1).
-    std::vector<double> growth(kKappa);
-    for (std::size_t i = 0; i < kKappa; ++i) {
-      growth[i] = 1.0 + (skew - 1.0) * static_cast<double>(i) /
-                            static_cast<double>(kKappa - 1);
-    }
-    const Prop1Result skewed = check_proposition1(base, growth);
-    table.add(skew, uniform.entropy_after, skewed.entropy_after,
-              skewed.entropy_before - skewed.entropy_after,
-              std::string(uniform.holds() && skewed.holds() ? "yes"
-                                                            : "NO"));
-  }
-  table.print(std::cout);
-
-  std::cout << "\npaper check: entropy decreases under non-uniform "
-               "abundance growth, is preserved under uniform growth.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"prop1_entropy"},
+      "Proposition 1: abundance growth vs entropy (κ = 16)");
 }

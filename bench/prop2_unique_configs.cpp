@@ -1,49 +1,18 @@
 // PROP2 — Proposition 2: with unique configurations per replica, *more
 // replicas* do not buy more resilience unless relative abundances stay
 // identical. We extend the Bitcoin oligopoly with ever more dust-weight
-// unique miners and watch entropy saturate far below the optimum, then
-// contrast with uniform extensions that do reach the optimum.
+// unique miners and watch entropy saturate far below the optimum.
 //
 // Expected shape: the oligopoly's entropy saturates below 3 bits while
 // log2(k) grows unboundedly (gap widens); the uniform control tracks
 // log2(k) exactly.
-#include <cmath>
-#include <iostream>
-#include <vector>
+//
+// Thin driver: the `prop2_unique` family lives in
+// src/scenarios/propositions.cpp.
+#include "runtime/registry.h"
 
-#include "diversity/datasets.h"
-#include "diversity/metrics.h"
-#include "diversity/propositions.h"
-#include "diversity/resilience.h"
-#include "support/table.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Proposition 2: adding unique replicas to the "
-                        "Bitcoin oligopoly");
-
-  support::Table table({"replicas k", "H oligopoly", "log2(k) optimum",
-                        "gap (bits)", "H uniform control",
-                        "faults >1/3 oligopoly", "faults >1/3 uniform"});
-  for (const std::size_t extra : {1u, 10u, 100u, 1000u, 10000u}) {
-    const ConfigDistribution oligopoly =
-        datasets::bitcoin_best_case_distribution(extra);
-    const std::size_t k = oligopoly.support_size();
-    const ConfigDistribution uniform = ConfigDistribution::uniform(k);
-    table.add(k, shannon_entropy(oligopoly),
-              std::log2(static_cast<double>(k)),
-              kl_from_uniform(oligopoly), shannon_entropy(uniform),
-              min_faults_to_exceed(oligopoly, kBftThreshold),
-              min_faults_to_exceed(uniform, kBftThreshold));
-  }
-  table.print(std::cout);
-
-  std::cout
-      << "\npaper check: oligopoly resilience stays at 1 fault and its\n"
-         "entropy saturates < 3 bits regardless of replica count, while\n"
-         "the identical-relative-abundance control scales with log2(k).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"prop2_unique"},
+      "Proposition 2: adding unique replicas to the Bitcoin oligopoly");
 }

@@ -6,94 +6,13 @@
 //
 // Expected shape: operator-adversary compromise falls ∝ 1/ω; the
 // vulnerability column is flat in ω; measured PBFT messages grow ≈ (κω)².
-#include <iostream>
+//
+// Thin driver: the `prop3_abundance` and `prop3_cost` families live in
+// src/scenarios/propositions.cpp.
+#include "runtime/registry.h"
 
-#include "bft/cluster.h"
-#include "config/sampler.h"
-#include "diversity/propositions.h"
-#include "faults/adversary.h"
-#include "support/table.h"
-
-namespace {
-
-// Builds a (κ, ω) population: κ distinct configurations, ω independent
-// operators per configuration, one replica each.
-findep::faults::OperatedPopulation make_population(std::size_t kappa,
-                                                   std::size_t omega) {
-  using namespace findep;
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
-  const auto configs = sampler.distinct_configurations(kappa);
-  faults::OperatedPopulation pop;
-  faults::OperatorId next_operator = 0;
-  for (std::size_t c = 0; c < kappa; ++c) {
-    for (std::size_t o = 0; o < omega; ++o) {
-      pop.replicas.push_back(
-          findep::diversity::ReplicaRecord{configs[c], 1.0, true});
-      pop.operator_of.push_back(next_operator++);
-    }
-  }
-  return pop;
-}
-
-std::uint64_t measured_messages(std::size_t n) {
-  using namespace findep::bft;
-  ClusterOptions opt;
-  opt.seed = n;
-  BftCluster cluster(n, opt);
-  for (int i = 0; i < 3; ++i) cluster.submit();
-  cluster.run_until_executed(3, 120.0);
-  return cluster.network().stats().messages_sent / 3;
-}
-
-}  // namespace
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Proposition 3: abundance ω vs adversaries "
-                        "(κ = 8 configurations, worst-case attacks)");
-  {
-    support::Table table({"omega", "replicas", "1 operator defects",
-                          "1 component fault", "analytic 1/(κω)",
-                          "analytic 1/κ"});
-    for (const std::size_t omega : {1u, 2u, 4u, 8u, 16u}) {
-      const auto pop = make_population(8, omega);
-      faults::FaultInjector injector(pop.replicas);
-      const double op_fraction =
-          faults::OperatorAdversary{1}.attack(pop).compromised_fraction;
-      const double vuln_fraction =
-          injector.worst_case_components(1).compromised_fraction;
-      const Prop3Result analytic = analyze_proposition3(8, omega);
-      table.add(omega, pop.replicas.size(), op_fraction, vuln_fraction,
-                analytic.operator_fraction,
-                analytic.vulnerability_fraction);
-    }
-    table.print(std::cout);
-  }
-
-  support::print_banner(std::cout,
-                        "Proposition 3 cost side: measured PBFT messages "
-                        "per request vs cluster size (κω)");
-  {
-    support::Table table({"replicas (κω)", "messages/request",
-                          "ratio to n=4", "(n/4)^2 reference"});
-    const std::uint64_t base = measured_messages(4);
-    for (const std::size_t n : {4u, 8u, 12u, 16u, 24u}) {
-      const std::uint64_t msgs = n == 4 ? base : measured_messages(n);
-      const double ratio =
-          static_cast<double>(msgs) / static_cast<double>(base);
-      const double quad = (static_cast<double>(n) / 4.0) *
-                          (static_cast<double>(n) / 4.0);
-      table.add(n, msgs, ratio, quad);
-    }
-    table.print(std::cout);
-  }
-
-  std::cout << "\npaper check: ω dilutes operator power but not "
-               "vulnerability blast radius, at quadratic message cost — "
-               "the performance/reliability trade-off of §IV-B.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"prop3_abundance", "prop3_cost"},
+      "Proposition 3: abundance ω vs adversaries, and its quadratic cost");
 }

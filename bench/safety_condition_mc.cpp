@@ -4,22 +4,16 @@
 // entropy (swept via the sampler's Zipf skew).
 //
 // Expected shape: the single-fault break probability (k = 1) and the
-// worst-case single-fault compromise grow steadily with monoculture skew —
-// a uniform population is unbreakable by any one fault, a skewed one often
-// falls to one. Sweeping seeds now also samples fresh populations per
-// run, so the ± spread quantifies population-to-population variance.
-#include "runtime/suite.h"
-#include "scenarios/safety_condition.h"
+// worst-case single-fault compromise grow steadily with monoculture skew.
+// Sweeping seeds also samples fresh populations per run, so the ± spread
+// quantifies population-to-population variance.
+//
+// Thin driver: the `safety_condition` family lives in
+// src/scenarios/safety_condition.cpp.
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  using findep::scenarios::SafetyConditionScenario;
-
-  findep::runtime::ScenarioSuite suite(
-      "Safety condition: P[compromise > threshold] under k random "
-      "component faults (100 replicas, 2000 trials per seed)");
-  for (const double skew : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0}) {
-    suite.emplace<SafetyConditionScenario>(
-        SafetyConditionScenario::Params{.zipf_exponent = skew});
-  }
-  return suite.run_main(argc, argv);
+  return findep::runtime::run_families_main(
+      argc, argv, {"safety_condition"},
+      "Safety condition: P[compromise > threshold] under k component faults");
 }

@@ -1,43 +1,19 @@
 // SELFISH — the Eyal–Sirer baseline the paper's §I cites ("majority is
-// not enough"): selfish-mining revenue vs hashrate α and race-win fraction
-// γ, with the closed-form profitability thresholds.
+// not enough"): selfish-mining revenue vs hashrate α at the canonical
+// race-win fractions γ ∈ {0, 0.5, 1}.
 //
-// Expected shape: revenue crosses the honest y = α line exactly at
-// α = (1−γ)/(3−2γ): 1/3 for γ = 0, 1/4 for γ = 0.5, 0 for γ = 1. Combined
-// with the fault pipeline: a correlated component fault that aggregates
-// pools above the threshold enables the strategy outright.
-#include <iostream>
-
-#include "nakamoto/selfish.h"
-#include "runtime/suite.h"
-#include "scenarios/selfish_mining.h"
+// Expected shape: revenue crosses the honest y = α line exactly at the
+// closed-form threshold α = (1−γ)/(3−2γ): 1/3 for γ = 0, 1/4 for
+// γ = 0.5, 0 for γ = 1 (findep::nakamoto::selfish_mining_threshold).
+// Combined with the fault pipeline: a correlated component fault that
+// aggregates pools above the threshold enables the strategy outright.
+//
+// Thin driver: the `selfish_mining` family lives in
+// src/scenarios/selfish_mining.cpp.
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  using findep::scenarios::SelfishMiningScenario;
-
-  findep::runtime::SuiteOptions options;
-  if (!findep::runtime::parse_suite_options(argc, argv, options,
-                                            std::cerr)) {
-    return 2;
-  }
-  // Free-text preamble only in table mode: --csv/--json/--list output
-  // must stay machine-parseable.
-  if (!options.csv && !options.json && !options.list) {
-    std::cout << "profitability thresholds: g=0: "
-              << findep::nakamoto::selfish_mining_threshold(0.0)
-              << ", g=0.5: "
-              << findep::nakamoto::selfish_mining_threshold(0.5)
-              << ", g=1: " << findep::nakamoto::selfish_mining_threshold(1.0)
-              << "\n";
-  }
-
-  findep::runtime::ScenarioSuite suite(
-      "Selfish mining: relative revenue vs hashrate (1M simulated blocks "
-      "per gamma per seed)");
-  for (const double alpha :
-       {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.40, 0.45}) {
-    suite.emplace<SelfishMiningScenario>(
-        SelfishMiningScenario::Params{.alpha = alpha});
-  }
-  return suite.run(options, std::cout, std::cerr);
+  return findep::runtime::run_families_main(
+      argc, argv, {"selfish_mining"},
+      "Selfish mining: relative revenue vs hashrate (1M blocks per γ per seed)");
 }

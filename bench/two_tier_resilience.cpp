@@ -2,65 +2,16 @@
 // non-attested replicas, give attested replicas a higher voting weight,
 // and measure resilience of the effective voting-power distribution.
 //
-// Expected shape: with low attested fractions the unknown mass is a single
-// point of failure; raising the attested weight α pushes the unknown share
-// below the BFT third and raises the number of independent faults needed.
-#include <iostream>
+// Expected shape: with low attested fractions the unknown mass is a
+// single point of failure; raising the attested weight α pushes the
+// unknown share below the BFT third and raises the number of independent
+// faults needed.
+//
+// Thin driver: the `two_tier` family lives in src/scenarios/two_tier.cpp.
+#include "runtime/registry.h"
 
-#include "config/sampler.h"
-#include "diversity/manager.h"
-#include "diversity/metrics.h"
-#include "support/table.h"
-
-namespace {
-
-std::vector<findep::diversity::ReplicaRecord> mixed_population(
-    double attested_fraction, std::uint64_t seed) {
-  using namespace findep;
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  config::SamplerOptions opts;
-  opts.zipf_exponent = 0.5;
-  opts.attestable_fraction = 1.0;
-  config::ConfigurationSampler sampler(catalog, opts);
-  support::Rng rng(seed);
-  std::vector<diversity::ReplicaRecord> population;
-  for (std::size_t i = 0; i < 60; ++i) {
-    diversity::ReplicaRecord rec{sampler.sample(rng), 1.0,
-                                 rng.chance(attested_fraction)};
-    if (!rec.attested) {
-      rec.configuration.clear(
-          config::ComponentKind::kTrustedHardware);
-    }
-    population.push_back(rec);
-  }
-  return population;
-}
-
-}  // namespace
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  support::print_banner(std::cout,
-                        "Two-tier voting (60 replicas): attested weight α "
-                        "vs resilience of the effective distribution");
-
-  support::Table table({"attested frac", "alpha", "unknown share %",
-                        "H effective", "faults >1/3", "SPOF"});
-  for (const double fraction : {0.25, 0.5, 0.75}) {
-    const auto population = mixed_population(fraction, 5);
-    for (const double alpha : {1.0, 2.0, 4.0, 8.0}) {
-      const TwoTierOutcome out = TwoTierPolicy(alpha).apply(population);
-      table.add(fraction, alpha, out.unknown_share * 100.0,
-                shannon_entropy(out.effective), out.bft.min_faults,
-                std::string(out.bft.single_point_of_failure ? "YES" : "no"));
-    }
-  }
-  table.print(std::cout);
-
-  std::cout << "\npaper check (§V): weighting attested replicas higher "
-               "shrinks the correlated unknown mass below the BFT third "
-               "without excluding open participation.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"two_tier"},
+      "Two-tier voting: attested weight α vs effective-distribution resilience");
 }

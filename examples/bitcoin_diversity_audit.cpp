@@ -1,73 +1,17 @@
 // Example 1 end-to-end: audit Bitcoin's fault independence from the
 // 2023-02-02 mining-pool snapshot, exactly as §IV-B of the paper does —
-// then go one step further and execute the attack the numbers predict.
-#include <cmath>
-#include <iostream>
+// then go one step further and execute the attack the numbers predict,
+// and the weight-cap enforcement that would blunt it.
+//
+// Thin driver: the `bitcoin_audit` family lives in
+// src/scenarios/bitcoin.cpp; its metrics walk the audit's four steps
+// (best-case entropy → worst shared component → double-spend odds →
+// capped distribution). Sweep --seeds to vary the realistic software
+// assignment; try `--set cap=0.05,0.1,0.2` for other enforcement levels.
+#include "runtime/registry.h"
 
-#include "diversity/datasets.h"
-#include "diversity/manager.h"
-#include "diversity/metrics.h"
-#include "diversity/optimality.h"
-#include "diversity/resilience.h"
-#include "faults/injector.h"
-#include "nakamoto/attack.h"
-#include "nakamoto/pools.h"
-
-int main() {
-  using namespace findep;
-  using namespace findep::diversity;
-
-  std::cout << "=== Bitcoin diversity audit (Example 1) ===\n\n";
-
-  // Step 1: the best-case distribution — every pool a unique config,
-  // residual hashrate spread over 101 miners (118 miners total).
-  const ConfigDistribution bitcoin =
-      datasets::bitcoin_best_case_distribution(101);
-  const double h = shannon_entropy(bitcoin);
-  std::cout << "miners: " << bitcoin.support_size()
-            << ", best-case entropy: " << h << " bits (max "
-            << max_entropy_bits(bitcoin.support_size()) << ")\n";
-  std::cout << "effective configurations 2^H: " << std::exp2(h)
-            << "  -> no more diverse than a "
-            << equivalent_uniform_configs(h)
-            << "-replica uniform BFT system\n";
-  std::cout << "dominance (largest pool):    " << berger_parker(bitcoin)
-            << '\n';
-  const ResilienceSummary bft = summarize_resilience(bitcoin, kBftThreshold);
-  const ResilienceSummary nak =
-      summarize_resilience(bitcoin, kNakamotoThreshold);
-  std::cout << "independent faults to pass 1/3: " << bft.min_faults
-            << ", to pass 1/2: " << nak.min_faults << "\n\n";
-
-  // Step 2: drop the best-case assumption — give pools realistic
-  // Zipf-skewed software stacks and find the worst shared component.
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  const nakamoto::PoolSet pools =
-      nakamoto::PoolSet::example1(catalog, /*distinct_configs=*/false, 7);
-  faults::FaultInjector injector(pools.as_population());
-  const faults::CompromiseResult worst = injector.worst_case_components(1);
-  std::cout << "with realistic software monoculture, ONE component fault "
-               "compromises "
-            << worst.compromised_fraction * 100.0 << "% of hashrate ("
-            << worst.compromised.size() << " pools)\n";
-
-  // Step 3: what that hashrate buys the attacker (double-spend odds).
-  const double q = worst.compromised_fraction;
-  std::cout << "double-spend success with that hashrate:\n";
-  for (const unsigned z : {1u, 2u, 6u, 12u, 24u}) {
-    std::cout << "  z=" << z << " confirmations: "
-              << nakamoto::attack_success_closed_form(q, z) << '\n';
-  }
-
-  // Step 4: what a weight cap (a diversity-enforcement policy) would do.
-  const WeightCapPolicy cap(0.10);
-  const CappedDistribution capped = cap.apply(bitcoin);
-  std::cout << "\nwith a 10% per-configuration voting cap: H rises from "
-            << h << " to " << shannon_entropy(capped.distribution)
-            << " bits, counting " << capped.retained_fraction * 100.0
-            << "% of power; faults to pass 1/3 rise from "
-            << bft.min_faults << " to "
-            << min_faults_to_exceed(capped.distribution, kBftThreshold)
-            << '\n';
-  return 0;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"bitcoin_audit"},
+      "Bitcoin diversity audit (Example 1), attack and cap enforcement");
 }

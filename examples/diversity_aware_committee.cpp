@@ -1,130 +1,18 @@
 // Full §V pipeline: permissionless participants attest their
 // configurations, a diversity-aware committee is formed from sortition
-// winners under a per-configuration cap, the committee runs weighted PBFT,
-// and a correlated component fault is injected to show the margin held.
-#include <iostream>
+// winners under a per-configuration cap, the committee runs weighted
+// PBFT, and the worst single configuration fault is injected to show the
+// margin held (consensus_live / logs_consistent metrics), next to the
+// residual *component* exposure the paper's Challenge 2 warns about.
+//
+// Thin driver: the `committee_pipeline` family lives in
+// src/scenarios/committee_pipeline.cpp. Try `--set cap=0.1,0.25,0.5` to
+// watch the cap trade admitted power against the fault margin.
+#include "runtime/registry.h"
 
-#include "attest/registry.h"
-#include "bft/cluster.h"
-#include "committee/diversity_aware.h"
-#include "committee/sortition.h"
-#include "config/sampler.h"
-#include "diversity/metrics.h"
-#include "faults/injector.h"
-
-int main() {
-  using namespace findep;
-
-  std::cout << "=== diversity-aware committee, end to end ===\n\n";
-
-  // 1. Permissionless population: 40 participants, skewed software
-  //    choices, all TEE-capable; everyone attests to a registry.
-  crypto::KeyRegistry keys;
-  support::Rng rng(99);
-  const config::ComponentCatalog catalog = config::standard_catalog();
-  attest::AttestationAuthority authority(keys, rng);
-  attest::AttestationRegistry attestation(keys, authority.root_key());
-  config::ConfigurationSampler sampler(
-      catalog, config::SamplerOptions{.zipf_exponent = 1.0,
-                                      .attestable_fraction = 1.0});
-
-  committee::StakeRegistry stake;
-  std::vector<crypto::KeyPair> participant_keys;
-  std::vector<attest::PlatformModule> platforms;
-  for (std::size_t i = 0; i < 40; ++i) {
-    const auto cfg = sampler.sample(rng);
-    const auto hw = cfg.component(config::ComponentKind::kTrustedHardware);
-    platforms.emplace_back(keys, rng, authority, *hw, cfg);
-    if (!attestation.admit(platforms.back().quote(attestation.challenge()),
-                           1.0)) {
-      std::cerr << "attestation failed\n";
-      return 1;
-    }
-    participant_keys.push_back(crypto::KeyPair::derive(7000 + i));
-    keys.enroll(participant_keys.back());
-    stake.add("participant-" + std::to_string(i), rng.uniform(1.0, 4.0),
-              cfg, true, participant_keys.back().public_key());
-  }
-  std::cout << "attested participants: " << attestation.size()
-            << " (registry merkle root "
-            << attestation.merkle_root().to_hex().substr(0, 16) << "...)\n";
-
-  // 2. Sortition proposes candidates; the diversity policy (25% cap per
-  //    configuration) forms the committee.
-  committee::Sortition sortition(stake, /*expected_size=*/20.0);
-  const committee::SortitionResult seats =
-      sortition.select(/*round=*/1, participant_keys);
-  std::vector<committee::ParticipantId> candidates;
-  for (const auto& seat : seats.seats) {
-    candidates.push_back(seat.participant);
-  }
-  committee::SelectionPolicy policy;
-  policy.per_config_cap = 0.25;
-  const committee::Committee formed =
-      committee::form_committee(stake, candidates, policy);
-  std::cout << "sortition winners: " << candidates.size()
-            << ", committee size: " << formed.members.size()
-            << ", H = " << formed.entropy_bits << " bits, admitted "
-            << formed.admitted_fraction * 100.0 << "% of offered power\n";
-  std::cout << "worst-case faults to pass 1/3: " << formed.bft.min_faults
-            << (formed.bft.single_point_of_failure
-                    ? "  (SINGLE POINT OF FAILURE!)"
-                    : "")
-            << "\n\n";
-  if (formed.members.size() < 4) {
-    std::cerr << "committee too small for BFT demo\n";
-    return 1;
-  }
-
-  // 3. The committee runs weighted PBFT; inject the worst single
-  //    *configuration* fault — the failure unit the cap provably bounds —
-  //    as silent replicas and watch consensus survive.
-  std::vector<diversity::ReplicaRecord> committee_population;
-  std::vector<double> weights;
-  for (const auto& member : formed.members) {
-    committee_population.push_back(diversity::ReplicaRecord{
-        stake.get(member.participant).configuration, member.weight, true});
-    weights.push_back(member.weight);
-  }
-  const diversity::ConfigDistribution committee_dist =
-      diversity::DiversityAnalyzer::distribution_of(committee_population);
-  const auto worst_config = committee_dist.sorted_by_power().front();
-  std::vector<bft::Behavior> behaviors(weights.size(),
-                                       bft::Behavior::kHonest);
-  double config_fault_power = 0.0;
-  std::size_t silenced = 0;
-  for (std::size_t i = 0; i < committee_population.size(); ++i) {
-    if (committee_population[i].configuration.digest() == worst_config.id) {
-      behaviors[i] = bft::Behavior::kSilent;
-      config_fault_power += committee_population[i].power;
-      ++silenced;
-    }
-  }
-  std::cout << "injecting worst single CONFIGURATION fault: silences "
-            << silenced << " members, "
-            << config_fault_power / formed.total_weight * 100.0
-            << "% of power (cap guarantees <= 25%)\n";
-  bft::BftCluster cluster(weights, bft::ClusterOptions{}, behaviors);
-  for (int i = 0; i < 5; ++i) cluster.submit();
-  const bool live = cluster.run_until_executed(5, 120.0);
-  std::cout << "consensus under the fault: "
-            << (live ? "LIVE (5/5 requests executed)" : "STALLED")
-            << ", logs consistent: "
-            << (cluster.logs_consistent() ? "yes" : "NO") << "\n\n";
-
-  // 4. The residual risk the paper warns about: a *component* shared
-  //    across distinct configurations (e.g. one OS) can still exceed the
-  //    threshold — configuration-level diversity is necessary, not
-  //    sufficient. We report it rather than hide it.
-  faults::FaultInjector injector(committee_population);
-  const faults::CompromiseResult component_fault =
-      injector.worst_case_components(1);
-  std::cout << "residual risk: the worst single COMPONENT fault would "
-               "still compromise "
-            << component_fault.compromised_fraction * 100.0
-            << "% of committee power across "
-            << component_fault.compromised.size()
-            << " members — enforcing per-axis component caps is the open "
-               "challenge the paper poses (§II-C).\n";
-  return live && cluster.logs_consistent() ? 0 : 1;
+int main(int argc, char** argv) {
+  return findep::runtime::run_families_main(
+      argc, argv, {"committee_pipeline"},
+      "Diversity-aware committee, end to end (attest -> sortition -> "
+      "capped committee -> weighted PBFT under fault)");
 }

@@ -1,65 +1,26 @@
-// Quickstart: write a Scenario and sweep it across seeds in ~40 lines.
+// Quickstart: run a registered scenario family, or write your own.
 //
-// A Scenario is one experiment as a pure function of its seed: build a
-// population, measure it, return metrics. The runtime sweeps it across
-// --seeds seeds on a worker pool and merges results deterministically.
+// Every experiment is a *scenario family* — a declarative bundle of
+//   1. a Scenario class whose run(ctx) is a pure function of its seed
+//      (build a population, measure it, return metrics), and
+//   2. a static ScenarioRegistration naming the family, its default
+//      ParamGrid (named axes, cartesian-expanded), and a factory from one
+//      grid point to a Scenario instance.
+// See src/scenarios/diversity_audit.cpp for the smallest complete
+// example (~70 lines); registering it there makes it reachable from
+// findep-bench, from this binary, and from the tests alike.
+//
+// The runtime sweeps every instance across --seeds seeds on one global
+// work queue and merges results deterministically.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart --seeds 8 --threads 4
-#include "config/sampler.h"
-#include "diversity/analyzer.h"
-#include "diversity/metrics.h"
-#include "diversity/optimality.h"
-#include "diversity/resilience.h"
-#include "runtime/suite.h"
-
-namespace {
-
-using namespace findep;
-
-// 32 replicas drawing COTS components with market-share-like popularity
-// skew; metrics are the paper's headline quantities (§IV-A).
-class DiversityAuditScenario : public runtime::Scenario {
- public:
-  std::string name() const override { return "diversity_audit/n=32"; }
-
-  runtime::MetricRecord run(const runtime::RunContext& ctx) const override {
-    const config::ComponentCatalog catalog = config::standard_catalog();
-    config::SamplerOptions options;
-    options.zipf_exponent = 1.0;        // market-share-like skew
-    options.attestable_fraction = 0.5;  // half the replicas have a TEE
-    config::ConfigurationSampler sampler(catalog, options);
-
-    support::Rng rng(ctx.seed);
-    std::vector<diversity::ReplicaRecord> population;
-    for (const auto& cfg : sampler.sample_population(rng, 32)) {
-      population.push_back(
-          diversity::ReplicaRecord{cfg, 1.0, cfg.is_attestable()});
-    }
-
-    const diversity::ConfigDistribution dist =
-        diversity::DiversityAnalyzer::distribution_of(population);
-    runtime::MetricRecord metrics;
-    metrics.set("entropy_bits", diversity::shannon_entropy(dist));
-    metrics.set("max_entropy_bits",
-                diversity::max_entropy_bits(dist.support_size()));
-    metrics.set("kappa_optimal",
-                diversity::is_kappa_optimal(dist, dist.support_size())
-                    ? 1.0
-                    : 0.0);
-    metrics.set("faults_to_exceed_third",
-                static_cast<double>(diversity::min_faults_to_exceed(
-                    dist, diversity::kBftThreshold)));
-    return metrics;
-  }
-};
-
-}  // namespace
+//   ./build/examples/quickstart --set zipf=0,1,2 --set replicas=64
+#include "runtime/registry.h"
 
 int main(int argc, char** argv) {
-  runtime::ScenarioSuite suite(
+  return findep::runtime::run_families_main(
+      argc, argv, {"diversity_audit"},
       "Quickstart: diversity of a sampled replica population");
-  suite.emplace<DiversityAuditScenario>();
-  return suite.run_main(argc, argv);
 }

@@ -1,14 +1,61 @@
 #include "diversity/analyzer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
+#include "crypto/sha256.h"
 #include "diversity/metrics.h"
 #include "diversity/optimality.h"
 #include "support/assert.h"
 
 namespace findep::diversity {
+
+namespace {
+
+/// Process-wide memo for analyze(): population digest → report. Bounded
+/// by wholesale eviction — sweeps reuse a population while it is hot;
+/// once the table fills, the working set has long moved on.
+struct AnalyzeCache {
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const noexcept {
+      return static_cast<std::size_t>(d.prefix64());
+    }
+  };
+
+  std::shared_mutex mutex;
+  std::unordered_map<crypto::Digest, DiversityReport, DigestHash> entries;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+AnalyzeCache& analyze_cache() {
+  static AnalyzeCache cache;
+  return cache;
+}
+
+/// Identity of a population for memoization: order, configuration
+/// digests, exact power bits and attestation flags all contribute.
+crypto::Digest population_digest(
+    const std::vector<ReplicaRecord>& population) {
+  crypto::Sha256 hash;
+  for (const ReplicaRecord& rec : population) {
+    hash.update(rec.configuration.digest().bytes);
+    hash.update_u64(std::bit_cast<std::uint64_t>(rec.power));
+    hash.update_u64(rec.attested ? 1 : 0);
+  }
+  return hash.finish();
+}
+
+DiversityReport compute_report(const std::vector<ReplicaRecord>& population);
+
+}  // namespace
 
 ConfigDistribution DiversityAnalyzer::distribution_of(
     const std::vector<ReplicaRecord>& population, bool include_unattested) {
@@ -23,6 +70,46 @@ ConfigDistribution DiversityAnalyzer::distribution_of(
 DiversityReport DiversityAnalyzer::analyze(
     const std::vector<ReplicaRecord>& population) {
   FINDEP_REQUIRE(!population.empty());
+  AnalyzeCache& cache = analyze_cache();
+  const crypto::Digest key = population_digest(population);
+  {
+    std::shared_lock lock(cache.mutex);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
+  DiversityReport report = compute_report(population);
+  {
+    std::unique_lock lock(cache.mutex);
+    if (cache.entries.size() >= AnalyzeCache::kMaxEntries) {
+      cache.entries.clear();
+    }
+    cache.entries.emplace(key, report);
+  }
+  return report;
+}
+
+DiversityAnalyzer::CacheStats DiversityAnalyzer::cache_stats() noexcept {
+  const AnalyzeCache& cache = analyze_cache();
+  return CacheStats{cache.hits.load(std::memory_order_relaxed),
+                    cache.misses.load(std::memory_order_relaxed)};
+}
+
+void DiversityAnalyzer::reset_cache() noexcept {
+  AnalyzeCache& cache = analyze_cache();
+  std::unique_lock lock(cache.mutex);
+  cache.entries.clear();
+  cache.hits.store(0, std::memory_order_relaxed);
+  cache.misses.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+DiversityReport compute_report(
+    const std::vector<ReplicaRecord>& population) {
   DiversityReport report;
   report.replica_count = population.size();
 
@@ -36,7 +123,8 @@ DiversityReport DiversityAnalyzer::analyze(
                      "population must carry positive voting power");
   report.attested_fraction = attested_power / report.total_power;
 
-  const ConfigDistribution dist = distribution_of(population);
+  const ConfigDistribution dist =
+      DiversityAnalyzer::distribution_of(population);
   report.support = dist.support_size();
   report.entropy_bits = shannon_entropy(dist);
   report.max_entropy_bits = max_entropy_bits(report.support);
@@ -100,6 +188,8 @@ DiversityReport DiversityAnalyzer::analyze(
 
   return report;
 }
+
+}  // namespace
 
 std::string DiversityReport::to_string(
     const config::ComponentCatalog* catalog) const {

@@ -9,6 +9,7 @@
 // configuration-level view is the upper bound the paper analyzes.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,8 +81,27 @@ class DiversityAnalyzer {
 
   /// Full report over a population. Requires non-empty population with
   /// positive total power.
+  ///
+  /// Memoized process-wide: results are cached under a digest of the
+  /// population (configuration digests, power bits, attestation flags),
+  /// so scenario instances that differ only in downstream parameters —
+  /// e.g. every α point of a two_tier sweep at one (fraction, seed) —
+  /// pay for the distribution computations once (ROADMAP hot path). The
+  /// cache is thread-safe; since analyze() is a pure function, a cached
+  /// result is bit-identical to a recomputed one.
   [[nodiscard]] static DiversityReport analyze(
       const std::vector<ReplicaRecord>& population);
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  /// Process-wide memoization counters (surfaced as suite counters in
+  /// table output; totals depend on worker interleaving, so they are
+  /// intentionally NOT per-run metrics).
+  [[nodiscard]] static CacheStats cache_stats() noexcept;
+  /// Drops every memoized report and zeroes the counters (tests).
+  static void reset_cache() noexcept;
 };
 
 }  // namespace findep::diversity

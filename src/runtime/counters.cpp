@@ -1,0 +1,39 @@
+#include "runtime/counters.h"
+
+#include <mutex>
+
+namespace findep::runtime {
+
+namespace {
+
+struct CounterRegistry {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, CounterSampler>> counters;
+};
+
+CounterRegistry& counter_registry() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+void register_process_counter(std::string name, CounterSampler sampler) {
+  CounterRegistry& registry = counter_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.counters.emplace_back(std::move(name), std::move(sampler));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+sample_process_counters() {
+  CounterRegistry& registry = counter_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(registry.counters.size());
+  for (const auto& [name, sampler] : registry.counters) {
+    out.emplace_back(name, sampler());
+  }
+  return out;
+}
+
+}  // namespace findep::runtime

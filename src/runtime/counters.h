@@ -1,0 +1,30 @@
+// Process-wide counters surfaced in suite output.
+//
+// Library layers register named samplers (e.g. the DiversityAnalyzer
+// memo cache's hit/miss counters) and the suite prints a "counters:"
+// footer under its tables. Counters are informational: their totals
+// depend on worker interleaving (two workers can race to a miss on the
+// same key), so they are deliberately excluded from the deterministic
+// CSV/JSON record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace findep::runtime {
+
+/// Samples a process-wide counter.
+using CounterSampler = std::function<std::uint64_t()>;
+
+/// Registers a named counter (typically at static-init time, like the
+/// scenario registrations). Thread-safe.
+void register_process_counter(std::string name, CounterSampler sampler);
+
+/// Current values, in registration order.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+sample_process_counters();
+
+}  // namespace findep::runtime

@@ -1,0 +1,243 @@
+#include "runtime/registry.h"
+
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+
+#include "runtime/suite.h"
+
+namespace findep::runtime {
+
+std::size_t ScenarioFamily::instance_count() const noexcept {
+  if (grids.empty()) return 1;
+  std::size_t total = 0;
+  for (const ParamGrid& grid : grids) total += grid.size();
+  return total;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::register_family(ScenarioFamily family) {
+  if (family.name.empty()) {
+    throw std::invalid_argument("scenario family must have a name");
+  }
+  if (family.factory == nullptr) {
+    throw std::invalid_argument("scenario family '" + family.name +
+                                "' has no factory");
+  }
+  if (find(family.name) != nullptr) {
+    throw std::invalid_argument("scenario family '" + family.name +
+                                "' registered twice");
+  }
+  families_.push_back(std::move(family));
+}
+
+const ScenarioFamily* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioFamily& family : families_) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioFamily*> ScenarioRegistry::families() const {
+  std::vector<const ScenarioFamily*> out;
+  out.reserve(families_.size());
+  for (const ScenarioFamily& family : families_) out.push_back(&family);
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioFamily* a, const ScenarioFamily* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+ScenarioRegistration::ScenarioRegistration(ScenarioFamily family) {
+  ScenarioRegistry::global().register_family(std::move(family));
+}
+
+std::vector<std::unique_ptr<Scenario>> instantiate_family(
+    const ScenarioFamily& family, const std::vector<ParamGrid>& grids) {
+  std::vector<std::unique_ptr<Scenario>> out;
+  if (grids.empty()) {
+    out.push_back(family.factory(ParamSet{}));
+    return out;
+  }
+  for (const ParamGrid& grid : grids) {
+    for (const ParamSet& point : grid.expand()) {
+      std::unique_ptr<Scenario> scenario = family.factory(point);
+      if (scenario == nullptr) {
+        throw std::invalid_argument("family '" + family.name +
+                                    "' factory returned null for {" +
+                                    point.label() + "}");
+      }
+      out.push_back(std::move(scenario));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string grid_summary(const std::vector<ParamGrid>& grids) {
+  std::string out;
+  for (const ParamGrid& grid : grids) {
+    if (!out.empty()) out += "; ";
+    if (grid.axes().empty()) {
+      out += "(fixed)";
+      continue;
+    }
+    std::string axes;
+    for (const ParamGrid::Axis& axis : grid.axes()) {
+      if (!axes.empty()) axes += ' ';
+      axes += axis.name + "=[";
+      for (std::size_t i = 0; i < axis.values.size(); ++i) {
+        if (i != 0) axes += ',';
+        axes += axis.values[i].to_string();
+      }
+      axes += ']';
+    }
+    out += axes;
+  }
+  return out.empty() ? "(fixed)" : out;
+}
+
+void list_families(const std::vector<const ScenarioFamily*>& selected,
+                   std::ostream& out) {
+  std::size_t width = 0;
+  for (const ScenarioFamily* family : selected) {
+    width = std::max(width, family->name.size());
+  }
+  for (const ScenarioFamily* family : selected) {
+    out << family->name << std::string(width - family->name.size(), ' ')
+        << "  " << family->instance_count() << " scenario(s)";
+    if (!family->deterministic) out << "  [measured]";
+    out << "  " << family->description << '\n'
+        << std::string(width + 2, ' ') << grid_summary(family->grids)
+        << '\n';
+  }
+}
+
+int usage_error(std::ostream& err, const std::string& message) {
+  err << "error: " << message << '\n';
+  return 2;
+}
+
+}  // namespace
+
+int run_families_main(
+    int argc, const char* const* argv,
+    const std::vector<std::string>& default_families, std::string intro,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        overrides) {
+  SuiteOptions options;
+  if (!parse_suite_options(argc, argv, options, std::cerr)) return 2;
+
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+
+  // The binary's built-in subset (empty = the whole registry). A missing
+  // name here is a programming error in the driver, not user input.
+  std::vector<const ScenarioFamily*> selected;
+  if (default_families.empty()) {
+    selected = registry.families();
+  } else {
+    for (const std::string& name : default_families) {
+      const ScenarioFamily* family = registry.find(name);
+      if (family == nullptr) {
+        return usage_error(std::cerr, "driver references unregistered "
+                                      "scenario family '" +
+                                          name + "'");
+      }
+      selected.push_back(family);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const ScenarioFamily* a, const ScenarioFamily* b) {
+                return a->name < b->name;
+              });
+  }
+
+  // --family narrows further; every requested name must resolve.
+  if (!options.families.empty()) {
+    std::vector<const ScenarioFamily*> narrowed;
+    for (const std::string& name : options.families) {
+      const auto it = std::find_if(
+          selected.begin(), selected.end(),
+          [&](const ScenarioFamily* f) { return f->name == name; });
+      if (it == selected.end()) {
+        std::string known;
+        for (const ScenarioFamily* f : selected) {
+          if (!known.empty()) known += ", ";
+          known += f->name;
+        }
+        return usage_error(std::cerr, "unknown family '" + name +
+                                          "' (available: " + known + ")");
+      }
+      if (std::find(narrowed.begin(), narrowed.end(), *it) ==
+          narrowed.end()) {
+        narrowed.push_back(*it);
+      }
+    }
+    std::sort(narrowed.begin(), narrowed.end(),
+              [](const ScenarioFamily* a, const ScenarioFamily* b) {
+                return a->name < b->name;
+              });
+    selected = std::move(narrowed);
+  }
+
+  if (options.list) {
+    list_families(selected, std::cout);
+    return 0;
+  }
+
+  // Working copies of the grids, then axis overrides: the driver's
+  // baked-in ones first, the command line's on top. Every override must
+  // hit at least one selected grid — a typoed axis is a usage error.
+  std::vector<std::vector<ParamGrid>> grids;
+  grids.reserve(selected.size());
+  for (const ScenarioFamily* family : selected) {
+    grids.push_back(family->grids);
+  }
+  std::vector<AxisOverride> all_sets;
+  for (const auto& [axis, values] : overrides) {
+    all_sets.push_back(AxisOverride{axis, values});
+  }
+  all_sets.insert(all_sets.end(), options.sets.begin(), options.sets.end());
+  for (const AxisOverride& over : all_sets) {
+    bool applied = false;
+    for (std::vector<ParamGrid>& family_grids : grids) {
+      for (ParamGrid& grid : family_grids) {
+        try {
+          applied = grid.override_axis(over.axis, over.values) || applied;
+        } catch (const std::invalid_argument& e) {
+          return usage_error(std::cerr, std::string("--set ") + e.what());
+        }
+      }
+    }
+    if (!applied) {
+      return usage_error(std::cerr, "--set " + over.axis +
+                                        ": no selected family has that "
+                                        "axis");
+    }
+  }
+
+  ScenarioSuite suite(std::move(intro));
+  for (std::size_t f = 0; f < selected.size(); ++f) {
+    // Factories and scenario constructors validate their parameters
+    // (string axes like mix/fleet/case, numeric preconditions); with
+    // overridden grids those throws are user input, not bugs.
+    try {
+      for (auto& scenario : instantiate_family(*selected[f], grids[f])) {
+        suite.add(std::move(scenario));
+      }
+    } catch (const std::exception& e) {
+      return usage_error(std::cerr,
+                         "family '" + selected[f]->name + "': " + e.what());
+    }
+  }
+  // `list` was handled above at family granularity; everything else
+  // (sweep, --only, rendering) is the suite's job.
+  return suite.run(options, std::cout, std::cerr);
+}
+
+}  // namespace findep::runtime

@@ -1,0 +1,91 @@
+// The declarative scenario registry.
+//
+// A *scenario family* is one experiment kind (a bench table, a paper
+// figure) described declaratively: a name, a one-line description, the
+// default parameter grids, and a factory that turns one grid point into a
+// `Scenario` instance. Families register themselves process-wide at
+// static-initialization time (`ScenarioRegistration` in the family's
+// translation unit), so every binary linking the scenario library — the
+// unified `findep-bench` CLI, the thin per-bench drivers, the tests —
+// sees the same catalog.
+//
+// `run_families_main()` is the shared driver main on top of it: select
+// families (`--family`, or the binary's built-in subset), override grid
+// axes (`--set axis=v1,v2`), expand, and sweep everything through the
+// suite's global (scenario, seed) work queue.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/param.h"
+#include "runtime/scenario.h"
+
+namespace findep::runtime {
+
+struct ScenarioFamily {
+  /// Unique registry key, [a-z0-9_]+ by convention.
+  std::string name;
+  /// One line, shown by `--list`.
+  std::string description;
+  /// Union of cartesian blocks: most families have one grid; families
+  /// whose parameter space is not a single product (e.g. a size sweep
+  /// plus fault mixes at one size) register several. Empty = one
+  /// parameterless instance.
+  std::vector<ParamGrid> grids;
+  /// Builds the scenario for one grid point.
+  std::function<std::unique_ptr<Scenario>(const ParamSet&)> factory;
+  /// False for measured (wall-clock timing) families, which are exempt
+  /// from the bit-identical determinism contract.
+  bool deterministic = true;
+
+  /// Total instances across all grids.
+  [[nodiscard]] std::size_t instance_count() const noexcept;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry every family registers into.
+  [[nodiscard]] static ScenarioRegistry& global();
+
+  /// Throws std::invalid_argument on a duplicate or unnamed family or a
+  /// null factory.
+  void register_family(ScenarioFamily family);
+
+  [[nodiscard]] const ScenarioFamily* find(const std::string& name) const;
+  /// All families, sorted by name.
+  [[nodiscard]] std::vector<const ScenarioFamily*> families() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return families_.size();
+  }
+
+ private:
+  std::vector<ScenarioFamily> families_;
+};
+
+/// Registers a family with the global registry at static-init time:
+///   const ScenarioRegistration kFamily{{.name = ..., .factory = ...}};
+struct ScenarioRegistration {
+  explicit ScenarioRegistration(ScenarioFamily family);
+};
+
+/// Expands `grids` through `family.factory`, one scenario per grid point,
+/// grids in order.
+[[nodiscard]] std::vector<std::unique_ptr<Scenario>> instantiate_family(
+    const ScenarioFamily& family, const std::vector<ParamGrid>& grids);
+
+/// The shared registry-driven main for `findep-bench` and the thin
+/// per-bench binaries. `default_families` restricts the binary to a
+/// subset of the registry (empty = every registered family); `overrides`
+/// are baked-in `--set`-style axis overrides applied before the command
+/// line's (used by example drivers that re-aim a family's grid).
+/// Understands every suite flag plus `--family` and `--set`.
+int run_families_main(
+    int argc, const char* const* argv,
+    const std::vector<std::string>& default_families, std::string intro,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        overrides = {});
+
+}  // namespace findep::runtime

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "runtime/counters.h"
 #include "support/assert.h"
 #include "support/table.h"
 
@@ -11,22 +12,44 @@ namespace findep::runtime {
 
 namespace {
 
-bool parse_u64(const char* text, std::uint64_t& out) {
+bool parse_u64(const std::string& text, std::uint64_t& out) {
   // strtoull happily wraps "-1" to 2^64-1; only plain digits are valid.
-  if (text[0] == '\0') return false;
-  for (const char* c = text; *c != '\0'; ++c) {
-    if (*c < '0' || *c > '9') return false;
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
   }
   char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') return false;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
   out = v;
   return true;
 }
 
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 void print_usage(std::ostream& err) {
   err << "usage: [--seed S] [--seeds K] [--threads T] [--only SUBSTR] "
-         "[--list] [--csv] [--json]\n";
+         "[--family NAME[,NAME]] [--set AXIS=V[,V]] [--list] [--csv] "
+         "[--json]\n";
+}
+
+bool fail(std::ostream& err, const std::string& message) {
+  err << "error: " << message << '\n';
+  print_usage(err);
+  return false;
 }
 
 }  // namespace
@@ -49,28 +72,57 @@ bool parse_suite_options(int argc, const char* const* argv,
     }
     // Everything else takes a value.
     if (i + 1 >= argc) {
-      print_usage(err);
-      return false;
+      return fail(err, arg + " expects a value");
     }
-    const char* value = argv[++i];
+    const std::string value = argv[++i];
     std::uint64_t parsed = 0;
-    bool ok = true;
     if (arg == "--seed") {
-      ok = parse_u64(value, options.sweep.base_seed);
+      if (!parse_u64(value, options.sweep.base_seed)) {
+        return fail(err,
+                    "--seed expects a non-negative integer, got '" + value +
+                        "'");
+      }
     } else if (arg == "--seeds") {
-      ok = parse_u64(value, parsed) && parsed > 0;
+      if (!parse_u64(value, parsed) || parsed == 0) {
+        return fail(
+            err, "--seeds expects a positive integer, got '" + value + "'");
+      }
       options.sweep.num_seeds = static_cast<std::size_t>(parsed);
     } else if (arg == "--threads") {
-      ok = parse_u64(value, parsed);
+      if (!parse_u64(value, parsed)) {
+        return fail(err, "--threads expects a non-negative integer, got '" +
+                             value + "'");
+      }
       options.sweep.threads = static_cast<std::size_t>(parsed);
     } else if (arg == "--only") {
       options.only = value;
+    } else if (arg == "--family") {
+      for (std::string& name : split_commas(value)) {
+        if (name.empty()) {
+          return fail(err, "--family expects family names, got '" + value +
+                               "'");
+        }
+        options.families.push_back(std::move(name));
+      }
+    } else if (arg == "--set") {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
+        return fail(err, "--set expects AXIS=V1[,V2,...], got '" + value +
+                             "'");
+      }
+      AxisOverride over;
+      over.axis = value.substr(0, eq);
+      over.values = split_commas(value.substr(eq + 1));
+      for (const std::string& v : over.values) {
+        if (v.empty()) {
+          return fail(err,
+                      "--set " + over.axis + ": empty value in '" + value +
+                          "'");
+        }
+      }
+      options.sets.push_back(std::move(over));
     } else {
-      ok = false;
-    }
-    if (!ok) {
-      print_usage(err);
-      return false;
+      return fail(err, "unknown flag '" + arg + "'");
     }
   }
   return true;
@@ -88,15 +140,24 @@ int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
     return 0;
   }
 
-  const SweepRunner runner(options.sweep);
-  MetricsSink sink;
+  // Select first, then sweep everything through one global work queue so
+  // the whole suite shares the worker pool (fills cores at --seeds 1).
+  std::vector<const Scenario*> selected;
   for (const auto& scenario : scenarios_) {
-    const std::string name = scenario->name();
     if (!options.only.empty() &&
-        name.find(options.only) == std::string::npos) {
+        scenario->name().find(options.only) == std::string::npos) {
       continue;
     }
-    sink.add(name, scenario->family(), runner.run(*scenario));
+    selected.push_back(scenario.get());
+  }
+
+  const SweepRunner runner(options.sweep);
+  std::vector<std::vector<RunRecord>> results = runner.run_all(selected);
+
+  MetricsSink sink;
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    sink.add(selected[s]->name(), selected[s]->family(),
+             std::move(results[s]));
   }
 
   if (options.json) {
@@ -108,6 +169,17 @@ int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
     out << "sweep: " << options.sweep.num_seeds << " seed(s) from --seed "
         << options.sweep.base_seed << '\n';
     sink.print_tables(out);
+    // Informational process counters (e.g. analyzer memo hits). Table
+    // mode only: their totals depend on worker interleaving, so they
+    // stay out of the deterministic CSV/JSON record.
+    const auto counters = sample_process_counters();
+    if (!counters.empty()) {
+      out << "\ncounters:";
+      for (const auto& [name, value] : counters) {
+        out << ' ' << name << '=' << value;
+      }
+      out << '\n';
+    }
   }
 
   if (sink.any_errors()) {

@@ -11,8 +11,16 @@
 //   --seeds K     seeds per scenario (default 3)
 //   --threads T   worker threads (default: hardware concurrency)
 //   --only SUB    run only scenarios whose name contains SUB
-//   --list        print scenario names and exit
+//   --family F    run only the named families (repeatable / comma list;
+//                 interpreted by the registry driver, run_families_main)
+//   --set A=V,V   override grid axis A with the listed values (registry
+//                 driver only)
+//   --list        print scenario families / names and exit
 //   --csv / --json  machine-readable output instead of tables
+//
+// All scenarios of a suite are swept through ONE global (scenario, seed)
+// work queue, so a multi-scenario suite fills every worker even at
+// --seeds 1; per-run results are still bit-identical to --threads 1.
 #pragma once
 
 #include <iosfwd>
@@ -27,16 +35,27 @@
 
 namespace findep::runtime {
 
+/// One `--set axis=v1,v2` occurrence; values stay raw strings until they
+/// are parsed against the typed axis they override.
+struct AxisOverride {
+  std::string axis;
+  std::vector<std::string> values;
+};
+
 struct SuiteOptions {
   SweepOptions sweep{.base_seed = 1, .num_seeds = 3, .threads = 0};
-  std::string only;  // substring filter; empty = all
+  std::string only;                    // substring filter; empty = all
+  std::vector<std::string> families;   // --family; empty = all
+  std::vector<AxisOverride> sets;      // --set axis=v1,v2
   bool list = false;
   bool csv = false;
   bool json = false;
 };
 
-/// Parses the uniform flags; returns false (after printing usage to
-/// `err`) on a malformed command line.
+/// Parses the uniform flags; returns false (after printing a specific
+/// "error: ..." line plus usage to `err`) on a malformed command line —
+/// including non-numeric, negative, or zero values where a positive
+/// count is required.
 [[nodiscard]] bool parse_suite_options(int argc, const char* const* argv,
                                        SuiteOptions& options,
                                        std::ostream& err);

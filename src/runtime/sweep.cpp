@@ -23,18 +23,31 @@ SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
 }
 
 std::vector<RunRecord> SweepRunner::run(const Scenario& scenario) const {
+  return run_all({&scenario}).front();
+}
+
+std::vector<std::vector<RunRecord>> SweepRunner::run_all(
+    const std::vector<const Scenario*>& scenarios) const {
   const std::size_t n = options_.num_seeds;
-  std::vector<RunRecord> records(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    records[i].seed = derive_seed(options_.base_seed, i);
-    records[i].run_index = i;
+  std::vector<std::vector<RunRecord>> records(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    FINDEP_REQUIRE(scenarios[s] != nullptr);
+    records[s].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      records[s][i].seed = derive_seed(options_.base_seed, i);
+      records[s][i].run_index = i;
+    }
   }
 
-  const auto execute = [&](std::size_t i) {
-    RunRecord& record = records[i];
+  // One flat task per (scenario, run_index); scenario-major order so the
+  // serial path executes exactly like the old per-scenario loop.
+  const std::size_t total = scenarios.size() * n;
+  const auto execute = [&](std::size_t task) {
+    const std::size_t s = task / n;
+    RunRecord& record = records[s][task % n];
     try {
       record.metrics =
-          scenario.run(RunContext{record.seed, record.run_index});
+          scenarios[s]->run(RunContext{record.seed, record.run_index});
     } catch (const std::exception& e) {
       record.error = e.what();
     } catch (...) {
@@ -46,23 +59,24 @@ std::vector<RunRecord> SweepRunner::run(const Scenario& scenario) const {
                             ? options_.threads
                             : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
-  threads = std::min(threads, n);
+  threads = std::min(threads, total);
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) execute(i);
+    for (std::size_t task = 0; task < total; ++task) execute(task);
     return records;
   }
 
-  // Work-stealing by atomic counter: workers claim run indices; each run
-  // writes only its own slot, so no further synchronization is needed.
+  // Work-stealing by atomic counter: workers claim flat task indices off
+  // the global queue; each task writes only its own (scenario, run) slot,
+  // so no further synchronization is needed.
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < n;
-           i = next.fetch_add(1)) {
-        execute(i);
+      for (std::size_t task = next.fetch_add(1); task < total;
+           task = next.fetch_add(1)) {
+        execute(task);
       }
     });
   }

@@ -1,11 +1,17 @@
-// SweepRunner: executes a scenario across K seeds on a worker pool.
+// SweepRunner: executes scenarios across K seeds on a worker pool fed
+// from a single global (scenario, seed) work queue.
 //
 // Determinism contract: run i of a sweep with base seed S always executes
 // with seed derive_seed(S, i); each run owns its whole simulation stack
 // (Scenario::run is a pure function of the context), and results land in
-// slot i of the output regardless of which worker finishes first. Hence a
-// sweep on any thread count — including 1 — produces bit-identical
-// per-seed records.
+// slot (scenario, i) of the output regardless of which worker finishes
+// first. Hence a sweep on any thread count — including 1 — produces
+// bit-identical per-seed records.
+//
+// The queue is suite-wide, not per-scenario: every (scenario, run_index)
+// pair of a multi-scenario sweep is one task claimed off one atomic
+// counter, so a suite of S scenarios keeps all workers busy even at
+// --seeds 1 (the old per-scenario pools left S−1 scenarios waiting).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +45,13 @@ class SweepRunner {
   /// run_index (= ascending derive_seed order of definition); a run that
   /// threw carries its message in `error` instead of metrics.
   [[nodiscard]] std::vector<RunRecord> run(const Scenario& scenario) const;
+
+  /// Sweeps every scenario across the seeds on ONE worker pool: the
+  /// global (scenario, run_index) work queue. Result r[s][i] is the
+  /// record of scenarios[s] at run_index i — bit-identical to running
+  /// each scenario serially. Null scenario pointers are not allowed.
+  [[nodiscard]] std::vector<std::vector<RunRecord>> run_all(
+      const std::vector<const Scenario*>& scenarios) const;
 
   [[nodiscard]] const SweepOptions& options() const noexcept {
     return options_;

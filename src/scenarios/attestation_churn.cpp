@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/registry.h"
+
 #include "attest/authority.h"
 #include "attest/registry.h"
 #include "attest/service.h"
@@ -96,5 +98,28 @@ runtime::MetricRecord AttestationChurnScenario::run(
   metrics.set("entropy_bits", entropy);
   return metrics;
 }
+
+namespace {
+
+const runtime::ScenarioRegistration kAttestationChurn{{
+    .name = "attestation_churn",
+    .description = "§III-B configuration discovery: challenge–quote–admit "
+                   "over the simulated network vs registry size",
+    .grids = {runtime::ParamGrid{
+        {"replicas", {16, 64, 256, 1024}},
+        {"churn_window", {60.0}},
+        {"zipf", {0.8}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<AttestationChurnScenario>(
+          AttestationChurnScenario::Params{
+              .replicas = p.get_size("replicas"),
+              .churn_window = p.get_double("churn_window"),
+              .zipf_exponent = p.get_double("zipf")});
+    },
+}};
+
+}  // namespace
 
 }  // namespace findep::scenarios

@@ -1,7 +1,10 @@
 #include "scenarios/bft_scaling.h"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
+#include "runtime/registry.h"
 #include "support/assert.h"
 
 namespace findep::scenarios {
@@ -47,5 +50,49 @@ runtime::MetricRecord BftScalingScenario::run(
   metrics.set("max_view_changes", static_cast<double>(view_changes));
   return metrics;
 }
+
+namespace {
+
+/// Behaviour mixes selectable on the declarative `mix` axis. The size
+/// sweep pairs every n with "honest"; the fault block pins n = 7 (the
+/// paper's running example) against each mix.
+std::vector<bft::Behavior> behaviors_for_mix(const std::string& mix) {
+  using bft::Behavior;
+  if (mix == "honest") return {};
+  if (mix == "silent_backup") return {Behavior::kHonest, Behavior::kSilent};
+  if (mix == "two_silent_backups") {
+    return {Behavior::kHonest, Behavior::kSilent, Behavior::kSilent};
+  }
+  if (mix == "silent_primary") return {Behavior::kSilent};
+  if (mix == "equivocating_primary") return {Behavior::kEquivocate};
+  throw std::invalid_argument("unknown behaviour mix '" + mix + "'");
+}
+
+const runtime::ScenarioRegistration kBftScaling{{
+    .name = "bft_scaling",
+    .description = "PBFT scaling: latency / messages / bytes per request "
+                   "vs cluster size and fault mix (§IV-B overhead)",
+    .grids =
+        {
+            runtime::ParamGrid{{"n", {4, 7, 10, 16, 25, 40}},
+                               {"mix", {"honest"}}},
+            runtime::ParamGrid{{"n", {7}},
+                               {"mix",
+                                {"silent_backup", "two_silent_backups",
+                                 "silent_primary", "equivocating_primary"}}},
+        },
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      const std::string mix = p.get_string("mix");
+      const std::size_t n = p.get_size("n");
+      return std::make_unique<BftScalingScenario>(BftScalingScenario::Params{
+          .n = n,
+          .behaviors = behaviors_for_mix(mix),
+          .label = "n=" + std::to_string(n) +
+                   (mix == "honest" ? "" : " " + mix)});
+    },
+}};
+
+}  // namespace
 
 }  // namespace findep::scenarios

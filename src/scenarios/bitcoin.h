@@ -1,0 +1,79 @@
+// Bitcoin-snapshot scenarios (Example 1 / Figure 1 of the paper), built
+// on the 2023-02-02 mining-pool distribution:
+//  - example1_entropy: the snapshot vs uniform BFT systems of growing
+//    size (Example 1's table).
+//  - fig1_entropy: best-case entropy as the residual hashrate spreads
+//    over x extra miners (Figure 1's curve).
+//  - bitcoin_audit: the end-to-end audit — entropy, worst shared
+//    component under realistic software monoculture, the double-spend
+//    success that hashrate buys, and what a weight cap would recover.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+/// One row of Example 1's comparison table: either the Bitcoin snapshot
+/// (`uniform = false`, n = residual miners) or a uniform BFT system of n
+/// configurations.
+class Example1Scenario : public runtime::Scenario {
+ public:
+  struct Params {
+    bool uniform = false;
+    /// Uniform system size, or the residual-miner count x for Bitcoin.
+    std::size_t n = 101;
+  };
+
+  explicit Example1Scenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// One x-point of Figure 1: best-case entropy with the residual 0.87%
+/// hashrate spread over x additional unique miners.
+class Fig1Scenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t x = 101;
+  };
+
+  explicit Fig1Scenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// The Example-1 audit end to end, including the attack the numbers
+/// predict and the recovery a weight cap buys. The realistic (monocultural)
+/// software assignment derives from the run seed.
+class BitcoinAuditScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t residual_miners = 101;
+    /// Per-configuration voting cap evaluated in the final step.
+    double cap = 0.10;
+  };
+
+  explicit BitcoinAuditScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

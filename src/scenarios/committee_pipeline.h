@@ -1,0 +1,37 @@
+// The full §V pipeline as one scenario: permissionless participants
+// attest their configurations, a diversity-aware committee forms from
+// sortition winners under a per-configuration cap, the committee runs
+// weighted PBFT, and the worst single configuration fault is injected to
+// show the margin held. Replaces the diversity_aware_committee example's
+// hand-rolled main; population, keys and sortition all derive from the
+// run seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class CommitteePipelineScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t participants = 40;
+    double expected_committee = 20.0;
+    double per_config_cap = 0.25;
+    double zipf_exponent = 1.0;
+    int requests = 5;
+  };
+
+  explicit CommitteePipelineScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,0 +1,37 @@
+// Component-aware committee caps (the enforcement answer to the paper's
+// Challenge 2 residual): sweep the per-component cap over a zipf-skewed
+// candidate pool and report the exposure actually achieved and the honest
+// power the cap discounts. Replaces the hand-rolled cap loop of the old
+// component_cap_committee bench; the candidate pool derives from the run
+// seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class ComponentCapScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    /// Max fraction of committee power exposed to one component.
+    double component_cap = 1.0;
+    /// Max fraction of committee power held by one configuration.
+    double config_cap = 0.25;
+    std::size_t candidates = 40;
+    double zipf_exponent = 1.0;
+  };
+
+  explicit ComponentCapScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

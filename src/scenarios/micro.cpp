@@ -1,0 +1,152 @@
+#include "scenarios/micro.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "config/sampler.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "diversity/analyzer.h"
+#include "diversity/metrics.h"
+#include "runtime/registry.h"
+#include "support/rng.h"
+
+namespace findep::scenarios {
+
+namespace {
+
+/// Keeps a value observable so the measured loop cannot be elided.
+volatile std::uint64_t g_micro_sink = 0;
+
+struct OpResult {
+  std::size_t iterations = 0;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+template <typename Body>
+OpResult time_op(std::size_t iterations, Body&& body) {
+  OpResult result;
+  result.iterations = iterations;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    result.checksum ^= body(i);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  g_micro_sink = result.checksum;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  return result;
+}
+
+OpResult run_op(const std::string& op, std::uint64_t seed) {
+  if (op == "sha256_4k") {
+    const std::vector<std::uint8_t> data(4096, 0xab);
+    return time_op(2048, [&](std::size_t) {
+      return crypto::sha256(data).prefix64();
+    });
+  }
+  if (op == "merkle_build_1k" || op == "merkle_prove_1k") {
+    std::vector<crypto::Digest> leaves;
+    leaves.reserve(1024);
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      leaves.push_back(crypto::Sha256{}.update_u64(i).finish());
+    }
+    if (op == "merkle_build_1k") {
+      return time_op(64, [&](std::size_t) {
+        return crypto::MerkleTree(leaves).root().prefix64();
+      });
+    }
+    const crypto::MerkleTree tree(leaves);
+    return time_op(4096, [&](std::size_t i) {
+      const std::size_t index = i % leaves.size();
+      const auto proof = tree.prove(index);
+      return static_cast<std::uint64_t>(
+          crypto::MerkleTree::verify(leaves[index], proof, tree.root()));
+    });
+  }
+  if (op == "entropy_4k") {
+    support::Rng rng(seed);
+    std::vector<double> weights(4096);
+    for (double& w : weights) w = rng.uniform(0.1, 10.0);
+    return time_op(512, [&](std::size_t) {
+      return static_cast<std::uint64_t>(
+          diversity::shannon_entropy(weights) * 1e6);
+    });
+  }
+  if (op == "config_digest") {
+    const config::ComponentCatalog catalog = config::standard_catalog();
+    config::ConfigurationSampler sampler(catalog,
+                                         config::SamplerOptions{});
+    support::Rng rng(seed);
+    const auto cfg = sampler.sample(rng);
+    return time_op(8192, [&](std::size_t) {
+      return cfg.digest().prefix64();
+    });
+  }
+  if (op == "analyzer_n100") {
+    const config::ComponentCatalog catalog = config::standard_catalog();
+    config::ConfigurationSampler sampler(catalog,
+                                         config::SamplerOptions{});
+    support::Rng rng(seed);
+    std::vector<diversity::ReplicaRecord> population;
+    for (const auto& cfg : sampler.sample_population(rng, 100)) {
+      population.push_back(diversity::ReplicaRecord{cfg, 1.0, true});
+    }
+    return time_op(64, [&](std::size_t i) {
+      // Vary one power so every iteration misses the memo cache: this
+      // times analyze(), not the cache lookup.
+      population.front().power = 1.0 + static_cast<double>(i) * 1e-6;
+      return static_cast<std::uint64_t>(
+          diversity::DiversityAnalyzer::analyze(population).entropy_bits *
+          1e6);
+    });
+  }
+  throw std::invalid_argument("unknown micro op '" + op + "'");
+}
+
+}  // namespace
+
+MicroScenario::MicroScenario(Params params) : params_(std::move(params)) {}
+
+std::string MicroScenario::name() const { return "micro/" + params_.op; }
+
+runtime::MetricRecord MicroScenario::run(
+    const runtime::RunContext& ctx) const {
+  const OpResult result = run_op(params_.op, ctx.seed);
+
+  runtime::MetricRecord metrics;
+  metrics.set("ns_per_op", result.seconds * 1e9 /
+                               static_cast<double>(result.iterations));
+  metrics.set("ops_per_sec",
+              result.seconds > 0.0
+                  ? static_cast<double>(result.iterations) / result.seconds
+                  : 0.0);
+  metrics.set("checksum_lo32",
+              static_cast<double>(result.checksum & 0xffffffffULL));
+  return metrics;
+}
+
+namespace {
+
+const runtime::ScenarioRegistration kMicro{{
+    .name = "micro",
+    .description = "wall-clock microbenchmarks of the hot primitives "
+                   "(timings measured, not seed-derived)",
+    .grids = {runtime::ParamGrid{
+        {"op", {"sha256_4k", "merkle_build_1k", "merkle_prove_1k",
+                "entropy_4k", "config_digest", "analyzer_n100"}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<MicroScenario>(
+          MicroScenario::Params{.op = p.get_string("op")});
+    },
+    .deterministic = false,
+}};
+
+}  // namespace
+
+}  // namespace findep::scenarios

@@ -1,0 +1,38 @@
+// Microbenchmark family: wall-clock timings of the hot primitives
+// (SHA-256, Merkle trees, entropy metrics, analyzer runs) through the
+// standard scenario interface, so `findep-bench` can sweep them next to
+// the experiments. The google-benchmark driver (`bench/micro_core.cpp`)
+// remains the precision instrument; this family is the always-available
+// smoke-level view.
+//
+// NOTE: timings are *measured*, not derived from the seed — this family
+// is registered with `deterministic = false` and is exempt from the
+// bit-identical sweep contract. The `checksum` metric is deterministic
+// and guards against the compiler optimizing the measured work away.
+#pragma once
+
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class MicroScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    /// One of: sha256_4k, merkle_build_1k, merkle_prove_1k, entropy_4k,
+    /// config_digest, analyzer_n100.
+    std::string op = "sha256_4k";
+  };
+
+  explicit MicroScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

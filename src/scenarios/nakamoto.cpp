@@ -1,7 +1,14 @@
 #include "scenarios/nakamoto.h"
 
+#include <memory>
+#include <stdexcept>
+
+#include "config/catalog.h"
+#include "faults/injector.h"
 #include "nakamoto/attack.h"
 #include "nakamoto/miner.h"
+#include "nakamoto/pools.h"
+#include "runtime/registry.h"
 #include "support/rng.h"
 #include "support/table.h"
 
@@ -53,5 +60,95 @@ runtime::MetricRecord DoubleSpendScenario::run(
                                            q, 0.001)));
   return metrics;
 }
+
+std::string PoolCompromiseScenario::name() const {
+  switch (params_.kind) {
+    case Kind::kBestCase:
+      return "pool_compromise/best_case";
+    case Kind::kRealistic:
+      return "pool_compromise/realistic";
+    case Kind::kMonoculture:
+      return "pool_compromise/monoculture";
+  }
+  return "pool_compromise/?";
+}
+
+runtime::MetricRecord PoolCompromiseScenario::run(
+    const runtime::RunContext& ctx) const {
+  const config::ComponentCatalog catalog =
+      params_.kind == Kind::kMonoculture ? config::monoculture_catalog()
+                                         : config::standard_catalog();
+  const nakamoto::PoolSet pools =
+      params_.kind == Kind::kBestCase
+          ? nakamoto::PoolSet::example1(catalog, true)
+          : nakamoto::PoolSet::example1(catalog, false, ctx.seed);
+  faults::FaultInjector injector(pools.as_population());
+  const double q = injector.worst_case_components(1).compromised_fraction;
+
+  runtime::MetricRecord metrics;
+  metrics.set("worst_1fault_share", q);
+  metrics.set("attack_z6", nakamoto::attack_success_closed_form(q, 6));
+  metrics.set("attack_z24", nakamoto::attack_success_closed_form(q, 24));
+  return metrics;
+}
+
+namespace {
+
+const runtime::ScenarioRegistration kForkRate{{
+    .name = "fork_rate",
+    .description = "honest mining race: fork/stale rate vs one-way "
+                   "propagation delay",
+    .grids = {runtime::ParamGrid{
+        {"delay", {0.1, 1.0, 5.0, 15.0, 40.0}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<ForkRateScenario>(
+          ForkRateScenario::Params{.mean_one_way_delay =
+                                       p.get_double("delay")});
+    },
+}};
+
+const runtime::ScenarioRegistration kDoubleSpend{{
+    .name = "double_spend",
+    .description = "double-spend race: Nakamoto closed form vs seeded "
+                   "Monte-Carlo, per attacker share q",
+    .grids = {runtime::ParamGrid{
+        {"q", {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}},
+        {"trials", {40000}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<DoubleSpendScenario>(
+          DoubleSpendScenario::Params{.attacker_share = p.get_double("q"),
+                                      .trials = p.get_size("trials")});
+    },
+}};
+
+const runtime::ScenarioRegistration kPoolCompromise{{
+    .name = "pool_compromise",
+    .description = "§I pipeline: one component fault → aggregated pool "
+                   "hashrate → double-spend success",
+    .grids = {runtime::ParamGrid{
+        {"case", {"best_case", "realistic", "monoculture"}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      const std::string& c = p.get_string("case");
+      const auto kind = c == "best_case"
+                            ? PoolCompromiseScenario::Kind::kBestCase
+                        : c == "monoculture"
+                            ? PoolCompromiseScenario::Kind::kMonoculture
+                            : PoolCompromiseScenario::Kind::kRealistic;
+      if (c != "best_case" && c != "monoculture" && c != "realistic") {
+        throw std::invalid_argument("unknown pool_compromise case '" + c +
+                                    "'");
+      }
+      return std::make_unique<PoolCompromiseScenario>(
+          PoolCompromiseScenario::Params{.kind = kind});
+    },
+}};
+
+}  // namespace
 
 }  // namespace findep::scenarios

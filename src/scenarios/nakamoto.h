@@ -1,5 +1,7 @@
-// Nakamoto-substrate scenarios: fork rate vs propagation delay, and the
-// double-spend race (closed form cross-validated by a seeded Monte-Carlo).
+// Nakamoto-substrate scenarios: fork rate vs propagation delay, the
+// double-spend race (closed form cross-validated by a seeded Monte-Carlo),
+// and the pool-software compromise pipeline (one component fault → the
+// combined hashrate of every pool sharing it → double-spend success).
 // Replaces the setup loops of the old nakamoto_attack bench driver.
 #pragma once
 
@@ -40,6 +42,32 @@ class DoubleSpendScenario : public runtime::Scenario {
   };
 
   explicit DoubleSpendScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// Pool-software compromise: one component fault → aggregated hashrate →
+/// double-spend success, over the Example-1 pool snapshot. `kind` selects
+/// the software-assignment case; the zipf-skewed assignments derive from
+/// the run seed.
+class PoolCompromiseScenario : public runtime::Scenario {
+ public:
+  enum class Kind {
+    kBestCase,     // every pool a unique configuration (paper's best case)
+    kRealistic,    // zipf-skewed assignment from the standard catalog
+    kMonoculture,  // zipf-skewed assignment from the monoculture catalog
+  };
+
+  struct Params {
+    Kind kind = Kind::kRealistic;
+  };
+
+  explicit PoolCompromiseScenario(Params params) : params_(params) {}
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] runtime::MetricRecord run(

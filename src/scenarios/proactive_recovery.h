@@ -1,0 +1,41 @@
+// Proactive-recovery scenario (§III-A's proactive-security pointer):
+// one-year exposure of a Lazarus-diverse fleet as a function of the
+// rejuvenation period, against patch-lag-only operation (period = 0).
+// Replaces the hand-rolled period loop of the old bench; the CVE stream
+// and deploy lags derive from the run seed, so a sweep replays many
+// independent years.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class ProactiveRecoveryScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    /// Days between rejuvenations of one replica; 0 = no recovery
+    /// (patch-lag-only baseline).
+    double period_days = 30.0;
+    std::size_t replicas = 24;
+    /// Vendors patch quickly, the fleet deploys slowly — the regime where
+    /// rejuvenation helps most (it bounds the deploy tail, not zero-days).
+    double mean_patch_latency_days = 5.0;
+    double mean_deploy_lag_days = 45.0;
+    double mean_vulns_per_component = 0.8;
+    double horizon_days = 365.0;
+  };
+
+  explicit ProactiveRecoveryScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,0 +1,23 @@
+// Bridges library-layer instrumentation into the runtime's counter
+// footer. Lives in scenarios/ because it is the layer that may depend on
+// both runtime and the domain libraries.
+#include "diversity/analyzer.h"
+#include "runtime/counters.h"
+
+namespace findep::scenarios {
+
+namespace {
+
+const bool kAnalyzerCounters = [] {
+  runtime::register_process_counter("analyzer_cache_hits", [] {
+    return diversity::DiversityAnalyzer::cache_stats().hits;
+  });
+  runtime::register_process_counter("analyzer_cache_misses", [] {
+    return diversity::DiversityAnalyzer::cache_stats().misses;
+  });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace findep::scenarios

@@ -1,0 +1,249 @@
+#include "scenarios/propositions.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bft/cluster.h"
+#include "config/sampler.h"
+#include "diversity/datasets.h"
+#include "diversity/metrics.h"
+#include "diversity/propositions.h"
+#include "diversity/resilience.h"
+#include "faults/adversary.h"
+#include "runtime/registry.h"
+#include "support/assert.h"
+#include "support/table.h"
+
+namespace findep::scenarios {
+
+// --- Proposition 1 ---------------------------------------------------------
+
+Prop1Scenario::Prop1Scenario(Params params) : params_(params) {
+  FINDEP_REQUIRE(params_.skew >= 1.0);
+  FINDEP_REQUIRE(params_.kappa >= 2);
+}
+
+std::string Prop1Scenario::name() const {
+  return "prop1_entropy/skew=" + support::Table::format_cell(params_.skew);
+}
+
+runtime::MetricRecord Prop1Scenario::run(const runtime::RunContext&) const {
+  const std::size_t kappa = params_.kappa;
+  const diversity::ConfigDistribution base =
+      diversity::ConfigDistribution::uniform(kappa);
+
+  // Uniform growth: every configuration ×2.
+  const diversity::Prop1Result uniform = diversity::check_proposition1(
+      base, std::vector<double>(kappa, 2.0));
+  // Skewed growth: configuration i grows by 1 + (skew-1)·i/(κ-1).
+  std::vector<double> growth(kappa);
+  for (std::size_t i = 0; i < kappa; ++i) {
+    growth[i] = 1.0 + (params_.skew - 1.0) * static_cast<double>(i) /
+                          static_cast<double>(kappa - 1);
+  }
+  const diversity::Prop1Result skewed =
+      diversity::check_proposition1(base, growth);
+
+  runtime::MetricRecord metrics;
+  metrics.set("h_uniform_growth", uniform.entropy_after);
+  metrics.set("h_skewed_growth", skewed.entropy_after);
+  metrics.set("entropy_lost_bits",
+              skewed.entropy_before - skewed.entropy_after);
+  metrics.set("prop1_holds", uniform.holds() && skewed.holds() ? 1.0 : 0.0);
+  return metrics;
+}
+
+// --- Proposition 2 ---------------------------------------------------------
+
+std::string Prop2Scenario::name() const {
+  return "prop2_unique/extra=" + std::to_string(params_.extra);
+}
+
+runtime::MetricRecord Prop2Scenario::run(const runtime::RunContext&) const {
+  const diversity::ConfigDistribution oligopoly =
+      diversity::datasets::bitcoin_best_case_distribution(params_.extra);
+  const std::size_t k = oligopoly.support_size();
+  const diversity::ConfigDistribution uniform =
+      diversity::ConfigDistribution::uniform(k);
+
+  runtime::MetricRecord metrics;
+  metrics.set("replicas_k", static_cast<double>(k));
+  metrics.set("h_oligopoly", diversity::shannon_entropy(oligopoly));
+  metrics.set("log2_k_optimum", std::log2(static_cast<double>(k)));
+  metrics.set("gap_bits", diversity::kl_from_uniform(oligopoly));
+  metrics.set("h_uniform_control", diversity::shannon_entropy(uniform));
+  metrics.set("faults_over_third_oligopoly",
+              static_cast<double>(diversity::min_faults_to_exceed(
+                  oligopoly, diversity::kBftThreshold)));
+  metrics.set("faults_over_third_uniform",
+              static_cast<double>(diversity::min_faults_to_exceed(
+                  uniform, diversity::kBftThreshold)));
+  return metrics;
+}
+
+// --- Proposition 3, adversary side -----------------------------------------
+
+namespace {
+
+/// Builds a (κ, ω) population: κ distinct configurations, ω independent
+/// operators per configuration, one replica each.
+faults::OperatedPopulation kappa_omega_population(std::size_t kappa,
+                                                  std::size_t omega) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::ConfigurationSampler sampler(catalog, config::SamplerOptions{});
+  const auto configs = sampler.distinct_configurations(kappa);
+  faults::OperatedPopulation pop;
+  faults::OperatorId next_operator = 0;
+  for (std::size_t c = 0; c < kappa; ++c) {
+    for (std::size_t o = 0; o < omega; ++o) {
+      pop.replicas.push_back(
+          diversity::ReplicaRecord{configs[c], 1.0, true});
+      pop.operator_of.push_back(next_operator++);
+    }
+  }
+  return pop;
+}
+
+}  // namespace
+
+Prop3Scenario::Prop3Scenario(Params params) : params_(params) {
+  FINDEP_REQUIRE(params_.omega >= 1);
+  FINDEP_REQUIRE(params_.kappa >= 1);
+}
+
+std::string Prop3Scenario::name() const {
+  return "prop3_abundance/omega=" + std::to_string(params_.omega);
+}
+
+runtime::MetricRecord Prop3Scenario::run(const runtime::RunContext&) const {
+  const auto pop = kappa_omega_population(params_.kappa, params_.omega);
+  faults::FaultInjector injector(pop.replicas);
+  const double op_fraction =
+      faults::OperatorAdversary{1}.attack(pop).compromised_fraction;
+  const double vuln_fraction =
+      injector.worst_case_components(1).compromised_fraction;
+  const diversity::Prop3Result analytic =
+      diversity::analyze_proposition3(params_.kappa, params_.omega);
+
+  runtime::MetricRecord metrics;
+  metrics.set("replicas", static_cast<double>(pop.replicas.size()));
+  metrics.set("one_operator_defects", op_fraction);
+  metrics.set("one_component_fault", vuln_fraction);
+  metrics.set("analytic_operator", analytic.operator_fraction);
+  metrics.set("analytic_vulnerability", analytic.vulnerability_fraction);
+  return metrics;
+}
+
+// --- Proposition 3, cost side ----------------------------------------------
+
+namespace {
+
+std::uint64_t measured_messages(std::size_t n, int requests,
+                                std::uint64_t seed) {
+  bft::ClusterOptions opt;
+  opt.seed = seed;
+  bft::BftCluster cluster(n, opt);
+  for (int i = 0; i < requests; ++i) cluster.submit();
+  cluster.run_until_executed(static_cast<std::size_t>(requests), 120.0);
+  return cluster.network().stats().messages_sent /
+         static_cast<std::uint64_t>(requests);
+}
+
+}  // namespace
+
+Prop3CostScenario::Prop3CostScenario(Params params) : params_(params) {
+  FINDEP_REQUIRE(params_.n >= 4);
+  FINDEP_REQUIRE(params_.requests > 0);
+}
+
+std::string Prop3CostScenario::name() const {
+  return "prop3_cost/n=" + std::to_string(params_.n);
+}
+
+runtime::MetricRecord Prop3CostScenario::run(
+    const runtime::RunContext& ctx) const {
+  // Each instance re-measures its own n=4 baseline so ratio_to_n4 is a
+  // self-contained per-seed metric; the extra n=4 cluster is a few
+  // dozen simulated messages, noise next to the n-sized run.
+  const std::uint64_t base = measured_messages(4, params_.requests, ctx.seed);
+  const std::uint64_t msgs =
+      params_.n == 4 ? base
+                     : measured_messages(params_.n, params_.requests,
+                                         ctx.seed);
+  const double quad = (static_cast<double>(params_.n) / 4.0) *
+                      (static_cast<double>(params_.n) / 4.0);
+
+  runtime::MetricRecord metrics;
+  metrics.set("msgs_per_request", static_cast<double>(msgs));
+  metrics.set("ratio_to_n4",
+              static_cast<double>(msgs) / static_cast<double>(base));
+  metrics.set("quadratic_reference", quad);
+  return metrics;
+}
+
+// --- registrations ---------------------------------------------------------
+
+namespace {
+
+const runtime::ScenarioRegistration kProp1{{
+    .name = "prop1_entropy",
+    .description = "Prop. 1: non-uniform abundance growth strictly loses "
+                   "entropy, uniform growth preserves it (κ = 16)",
+    .grids = {runtime::ParamGrid{
+        {"skew", {1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0}},
+        {"kappa", {16}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<Prop1Scenario>(Prop1Scenario::Params{
+          .skew = p.get_double("skew"), .kappa = p.get_size("kappa")});
+    },
+}};
+
+const runtime::ScenarioRegistration kProp2{{
+    .name = "prop2_unique",
+    .description = "Prop. 2: dust-weight unique miners don't buy the "
+                   "Bitcoin oligopoly any resilience",
+    .grids = {runtime::ParamGrid{
+        {"extra", {1, 10, 100, 1000, 10000}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<Prop2Scenario>(
+          Prop2Scenario::Params{.extra = p.get_size("extra")});
+    },
+}};
+
+const runtime::ScenarioRegistration kProp3{{
+    .name = "prop3_abundance",
+    .description = "Prop. 3: abundance ω dilutes operator power (1/κω) "
+                   "but not vulnerability blast radius (1/κ)",
+    .grids = {runtime::ParamGrid{
+        {"omega", {1, 2, 4, 8, 16}},
+        {"kappa", {8}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<Prop3Scenario>(Prop3Scenario::Params{
+          .omega = p.get_size("omega"), .kappa = p.get_size("kappa")});
+    },
+}};
+
+const runtime::ScenarioRegistration kProp3Cost{{
+    .name = "prop3_cost",
+    .description = "Prop. 3 cost side: measured PBFT messages per request "
+                   "vs cluster size κω, against (n/4)²",
+    .grids = {runtime::ParamGrid{
+        {"n", {4, 8, 12, 16, 24}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<Prop3CostScenario>(
+          Prop3CostScenario::Params{.n = p.get_size("n")});
+    },
+}};
+
+}  // namespace
+
+}  // namespace findep::scenarios

@@ -1,0 +1,96 @@
+// Propositions 1–3 (§IV-B) as scenario families, replacing the three
+// hand-rolled prop* bench drivers:
+//  - prop1_entropy: abundance growth vs entropy for a κ-optimal base.
+//  - prop2_unique: dust-weight unique replicas added to the Bitcoin
+//    oligopoly vs the uniform control.
+//  - prop3_abundance: abundance ω vs the operator / vulnerability
+//    adversaries (analytic and injected).
+//  - prop3_cost: the cost side — measured PBFT messages per request vs
+//    cluster size, against the (n/4)² reference.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+/// Proposition 1 at one growth skew: uniform growth preserves entropy,
+/// skewed growth strictly loses bits.
+class Prop1Scenario : public runtime::Scenario {
+ public:
+  struct Params {
+    /// max/min growth factor across the support.
+    double skew = 2.0;
+    std::size_t kappa = 16;
+  };
+
+  explicit Prop1Scenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// Proposition 2 at one extension size: the oligopoly's entropy saturates
+/// while the uniform control tracks log2(k).
+class Prop2Scenario : public runtime::Scenario {
+ public:
+  struct Params {
+    /// Number of dust-weight unique miners added to the 17-pool snapshot.
+    std::size_t extra = 100;
+  };
+
+  explicit Prop2Scenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// Proposition 3 at one abundance ω: worst-case operator defection vs one
+/// component fault over a (κ, ω) population, next to the analytic values.
+class Prop3Scenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t omega = 1;
+    std::size_t kappa = 8;
+  };
+
+  explicit Prop3Scenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+/// Proposition 3's price: measured PBFT messages per request at cluster
+/// size n (= κω), compared against quadratic growth from n = 4.
+class Prop3CostScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t n = 4;
+    int requests = 3;
+  };
+
+  explicit Prop3CostScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

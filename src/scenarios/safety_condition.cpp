@@ -1,5 +1,6 @@
 #include "scenarios/safety_condition.h"
 
+#include <memory>
 #include <vector>
 
 #include "config/sampler.h"
@@ -7,6 +8,7 @@
 #include "diversity/metrics.h"
 #include "diversity/resilience.h"
 #include "faults/injector.h"
+#include "runtime/registry.h"
 #include "support/table.h"
 
 namespace findep::scenarios {
@@ -54,5 +56,28 @@ runtime::MetricRecord SafetyConditionScenario::run(
               injector.worst_case_components(1).compromised_fraction);
   return metrics;
 }
+
+namespace {
+
+const runtime::ScenarioRegistration kSafetyCondition{{
+    .name = "safety_condition",
+    .description = "§II-C Monte-Carlo: P[compromise > threshold] under k "
+                   "random component faults vs population skew",
+    .grids = {runtime::ParamGrid{
+        {"zipf", {0.0, 0.5, 1.0, 1.5, 2.0, 3.0}},
+        {"replicas", {100}},
+        {"trials", {2000}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<SafetyConditionScenario>(
+          SafetyConditionScenario::Params{
+              .zipf_exponent = p.get_double("zipf"),
+              .replicas = p.get_size("replicas"),
+              .trials = p.get_size("trials")});
+    },
+}};
+
+}  // namespace
 
 }  // namespace findep::scenarios

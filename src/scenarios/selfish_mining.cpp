@@ -1,6 +1,9 @@
 #include "scenarios/selfish_mining.h"
 
+#include <memory>
+
 #include "nakamoto/selfish.h"
+#include "runtime/registry.h"
 #include "support/rng.h"
 #include "support/table.h"
 
@@ -32,5 +35,25 @@ runtime::MetricRecord SelfishMiningScenario::run(
   metrics.set("advantage_g05", g5.advantage());
   return metrics;
 }
+
+namespace {
+
+const runtime::ScenarioRegistration kSelfishMining{{
+    .name = "selfish_mining",
+    .description = "Eyal–Sirer selfish mining: relative revenue vs "
+                   "hashrate α at γ ∈ {0, 0.5, 1}",
+    .grids = {runtime::ParamGrid{
+        {"alpha", {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.40, 0.45}},
+        {"rounds", {1'000'000}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<SelfishMiningScenario>(
+          SelfishMiningScenario::Params{.alpha = p.get_double("alpha"),
+                                        .rounds = p.get_size("rounds")});
+    },
+}};
+
+}  // namespace
 
 }  // namespace findep::scenarios

@@ -1,0 +1,102 @@
+#include "scenarios/two_tier.h"
+
+#include <memory>
+#include <vector>
+
+#include "config/sampler.h"
+#include "diversity/analyzer.h"
+#include "diversity/manager.h"
+#include "diversity/metrics.h"
+#include "runtime/registry.h"
+#include "support/assert.h"
+#include "support/table.h"
+
+namespace findep::scenarios {
+
+namespace {
+
+/// The mixed population is a function of (replicas, attested_fraction,
+/// seed) only — all α instances of one fraction share it, which is what
+/// makes the analyzer's population memoization (ROADMAP hot path) pay.
+std::vector<diversity::ReplicaRecord> mixed_population(
+    std::size_t replicas, double attested_fraction, std::uint64_t seed) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::SamplerOptions opts;
+  opts.zipf_exponent = 0.5;
+  opts.attestable_fraction = 1.0;
+  config::ConfigurationSampler sampler(catalog, opts);
+  support::Rng rng(seed);
+  std::vector<diversity::ReplicaRecord> population;
+  population.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    diversity::ReplicaRecord rec{sampler.sample(rng), 1.0,
+                                 rng.chance(attested_fraction)};
+    if (!rec.attested) {
+      rec.configuration.clear(config::ComponentKind::kTrustedHardware);
+    }
+    population.push_back(std::move(rec));
+  }
+  return population;
+}
+
+}  // namespace
+
+TwoTierScenario::TwoTierScenario(Params params) : params_(params) {
+  FINDEP_REQUIRE(params_.replicas > 0);
+  FINDEP_REQUIRE(params_.attested_fraction >= 0.0 &&
+                 params_.attested_fraction <= 1.0);
+  FINDEP_REQUIRE(params_.alpha >= 1.0);
+}
+
+std::string TwoTierScenario::name() const {
+  return "two_tier/attested=" +
+         support::Table::format_cell(params_.attested_fraction) +
+         " alpha=" + support::Table::format_cell(params_.alpha);
+}
+
+runtime::MetricRecord TwoTierScenario::run(
+    const runtime::RunContext& ctx) const {
+  const auto population =
+      mixed_population(params_.replicas, params_.attested_fraction, ctx.seed);
+
+  // Baseline diversity of the raw population (memoized across the α
+  // instances sharing this population).
+  const diversity::DiversityReport report =
+      diversity::DiversityAnalyzer::analyze(population);
+  const diversity::TwoTierOutcome out =
+      diversity::TwoTierPolicy(params_.alpha).apply(population);
+
+  runtime::MetricRecord metrics;
+  metrics.set("unknown_share_pct", out.unknown_share * 100.0);
+  metrics.set("h_effective_bits", diversity::shannon_entropy(out.effective));
+  metrics.set("h_population_bits", report.entropy_bits);
+  metrics.set("faults_over_third",
+              static_cast<double>(out.bft.min_faults));
+  metrics.set("single_point_of_failure",
+              out.bft.single_point_of_failure ? 1.0 : 0.0);
+  return metrics;
+}
+
+namespace {
+
+const runtime::ScenarioRegistration kTwoTier{{
+    .name = "two_tier",
+    .description = "attested-weight two-tier voting: α vs resilience of "
+                   "the effective distribution (§V)",
+    .grids = {runtime::ParamGrid{
+        {"attested_fraction", {0.25, 0.5, 0.75}},
+        {"alpha", {1.0, 2.0, 4.0, 8.0}},
+        {"replicas", {60}},
+    }},
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<TwoTierScenario>(TwoTierScenario::Params{
+          .attested_fraction = p.get_double("attested_fraction"),
+          .alpha = p.get_double("alpha"),
+          .replicas = p.get_size("replicas")});
+    },
+}};
+
+}  // namespace
+
+}  // namespace findep::scenarios

@@ -1,0 +1,34 @@
+// Two-tier voting scenario (§V): mix attested and non-attested replicas,
+// weight attested replicas by α, and measure the resilience of the
+// effective voting-power distribution. Replaces the fraction × α loops of
+// the old two_tier_resilience bench; the population now derives from the
+// run seed, so a sweep shows the population-to-population spread the
+// single hardcoded draw hid.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+class TwoTierScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    double attested_fraction = 0.5;
+    double alpha = 2.0;  // attested weight multiplier
+    std::size_t replicas = 60;
+  };
+
+  explicit TwoTierScenario(Params params);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

@@ -1,6 +1,8 @@
 // DiversityAnalyzer: population → report, per-axis entropy, blast radii.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "config/sampler.h"
 #include "diversity/analyzer.h"
 #include "diversity/metrics.h"
@@ -147,6 +149,53 @@ TEST(Analyzer, WorstPerKindCoversPresentKinds) {
     EXPECT_LE(exp.power_fraction, 1.0);
     EXPECT_GE(exp.replicas, 1u);
   }
+}
+
+TEST(AnalyzerCache, MemoizesIdenticalPopulations) {
+  DiversityAnalyzer::reset_cache();
+  const auto population = distinct_population(8);
+
+  const DiversityReport first = DiversityAnalyzer::analyze(population);
+  auto stats = DiversityAnalyzer::cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // A copy of the population (same digests/powers/flags) must hit.
+  const auto copy = population;
+  const DiversityReport second = DiversityAnalyzer::analyze(copy);
+  stats = DiversityAnalyzer::cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Cached and computed reports agree exactly.
+  EXPECT_EQ(first.entropy_bits, second.entropy_bits);
+  EXPECT_EQ(first.support, second.support);
+  EXPECT_EQ(first.bft.min_faults, second.bft.min_faults);
+  ASSERT_TRUE(second.worst_overall.has_value());
+  EXPECT_EQ(first.worst_overall->power_fraction,
+            second.worst_overall->power_fraction);
+}
+
+TEST(AnalyzerCache, DistinguishesPowerAttestationAndOrder) {
+  DiversityAnalyzer::reset_cache();
+  auto population = distinct_population(4);
+  (void)DiversityAnalyzer::analyze(population);
+
+  auto repowered = population;
+  repowered.front().power = 2.0;
+  (void)DiversityAnalyzer::analyze(repowered);
+
+  auto unattested = population;
+  unattested.front().attested = false;
+  (void)DiversityAnalyzer::analyze(unattested);
+
+  auto reordered = population;
+  std::swap(reordered.front(), reordered.back());
+  (void)DiversityAnalyzer::analyze(reordered);
+
+  const auto stats = DiversityAnalyzer::cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 4u);
 }
 
 }  // namespace
