@@ -10,10 +10,20 @@
 //   findep-bench --only "alpha=2" --seeds 16 --json
 //   findep-bench --seeds 1                    # whole catalog, one seed
 //
+// The same catalog shards across processes (or machines) through the
+// task wire format — coordinator, workers, merge:
+//
+//   findep-bench --emit-tasks | findep-bench --worker |
+//     findep-bench --merge - --json        # ≡ findep-bench --json
+//   findep-bench --emit-tasks > tasks.jsonl && split -n l/3 tasks.jsonl s.
+//   findep-bench --worker < s.aa > r1.jsonl   # ... one per shard/host
+//   findep-bench --merge r1.jsonl r2.jsonl r3.jsonl --csv --out sweep.csv
+//
 // All selected scenarios are swept through ONE global (scenario, seed)
 // work queue, so even --seeds 1 fills every core; per-run results are
-// bit-identical to --threads 1 (see DESIGN.md for the contract and the
-// `micro` family's measured-timing exemption).
+// bit-identical to --threads 1, and a merged distributed sweep is
+// byte-identical to the in-process one (see DESIGN.md for the contract
+// and the `micro` family's measured-timing exemption).
 #include "runtime/registry.h"
 
 int main(int argc, char** argv) {

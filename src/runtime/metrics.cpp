@@ -77,30 +77,6 @@ support::RunningStats aggregate(const MetricsSink::Entry& entry,
   return stats;
 }
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string mean_cell(const support::RunningStats& stats) {
   if (stats.count() == 0) return "ERROR";
   std::string cell = support::Table::format_cell(stats.mean());
@@ -155,10 +131,11 @@ void MetricsSink::print_csv(std::ostream& out) const {
   for (const Entry& e : entries_) {
     for (const std::string& name : metric_names(e)) {
       const support::RunningStats stats = aggregate(e, name);
-      out << e.family << ',' << e.scenario << ',' << e.records.size() << ','
-          << name << ',' << format_exact(stats.mean()) << ','
-          << format_exact(stats.stddev()) << ',' << format_exact(stats.min())
-          << ',' << format_exact(stats.max()) << '\n';
+      out << csv_escape(e.family) << ',' << csv_escape(e.scenario) << ','
+          << e.records.size() << ',' << csv_escape(name) << ','
+          << format_exact(stats.mean()) << ',' << format_exact(stats.stddev())
+          << ',' << format_exact(stats.min()) << ','
+          << format_exact(stats.max()) << '\n';
     }
   }
 }
@@ -197,6 +174,41 @@ std::string format_exact(double v) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", v);
   return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace findep::runtime

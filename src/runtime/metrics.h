@@ -71,7 +71,8 @@ class MetricsSink {
   /// One aligned table per family: a row per scenario, a column per
   /// metric (mean, with ±stddev when the sweep has several seeds).
   void print_tables(std::ostream& out) const;
-  /// CSV rows: family,scenario,seeds,metric,mean,stddev,min,max.
+  /// CSV rows: family,scenario,seeds,metric,mean,stddev,min,max. Fields
+  /// containing commas, quotes or newlines are RFC-4180 quoted.
   void print_csv(std::ostream& out) const;
   /// Full per-seed values plus aggregates; doubles are emitted with 17
   /// significant digits so output is bit-faithful.
@@ -84,5 +85,14 @@ class MetricsSink {
 /// Shortest-round-trip rendering of a double (17 significant digits) for
 /// the bit-faithful JSON path.
 [[nodiscard]] std::string format_exact(double v);
+
+/// JSON string-body escaping (quotes, backslashes, control characters)
+/// shared by the sink's JSON rendering and the task wire format.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// RFC-4180 CSV field escaping: returns `field` unchanged unless it
+/// contains a comma, quote or line break, in which case it is wrapped in
+/// quotes with embedded quotes doubled.
+[[nodiscard]] std::string csv_escape(const std::string& field);
 
 }  // namespace findep::runtime

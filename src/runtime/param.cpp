@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -129,8 +130,14 @@ ParamValue ParamValue::parse_as(const std::string& text,
     char* end = nullptr;
     errno = 0;
     const double v = std::strtod(text.c_str(), &end);
-    if (errno != 0 || end != text.c_str() + text.size()) {
+    if (end != text.c_str() + text.size()) {
       throw std::invalid_argument("'" + text + "' is not a number");
+    }
+    // Overflow to ±inf is a typo'd magnitude; underflow to a denormal
+    // (also ERANGE) is the closest representable value and must parse —
+    // the task wire format round-trips denormal parameters through here.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+      throw std::invalid_argument("'" + text + "' overflows a double");
     }
     return ParamValue(v);
   }

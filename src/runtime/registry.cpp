@@ -1,10 +1,12 @@
 #include "runtime/registry.h"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "runtime/suite.h"
+#include "runtime/task.h"
 
 namespace findep::runtime {
 
@@ -134,6 +136,24 @@ int run_families_main(
   SuiteOptions options;
   if (!parse_suite_options(argc, argv, options, std::cerr)) return 2;
 
+  // The two wire-side modes need no family selection: a worker executes
+  // whatever tasks arrive, a merge only re-renders results.
+  if (options.worker || options.merge_mode) {
+    std::ofstream out_file;
+    std::ostream* dest = &std::cout;
+    if (!open_output(options.out_file, out_file, dest)) {
+      return usage_error(std::cerr, "cannot open --out file '" +
+                                        options.out_file + "'");
+    }
+    const int code =
+        options.worker
+            ? run_worker(std::cin, *dest, std::cerr, options.sweep.threads)
+            : merge_shards(options.merge, options.csv, options.json, *dest,
+                           std::cerr);
+    if (!close_output(options.out_file, out_file, dest, std::cerr)) return 2;
+    return code;
+  }
+
   const ScenarioRegistry& registry = ScenarioRegistry::global();
 
   // The binary's built-in subset (empty = the whole registry). A missing
@@ -219,6 +239,30 @@ int run_families_main(
                                         ": no selected family has that "
                                         "axis");
     }
+  }
+
+  // Coordinator mode: print the selected catalog as task JSONL instead of
+  // sweeping it. The same selection + overridden grids feed both paths,
+  // so `--emit-tasks | --worker | --merge -` reproduces the in-process
+  // sweep byte-for-byte.
+  if (options.emit_tasks) {
+    FamilySelection selection;
+    for (std::size_t f = 0; f < selected.size(); ++f) {
+      selection.emplace_back(selected[f], grids[f]);
+    }
+    std::ofstream out_file;
+    std::ostream* dest = &std::cout;
+    if (!open_output(options.out_file, out_file, dest)) {
+      return usage_error(std::cerr, "cannot open --out file '" +
+                                        options.out_file + "'");
+    }
+    try {
+      emit_task_catalog(selection, options.sweep, options.only, *dest);
+    } catch (const std::exception& e) {
+      return usage_error(std::cerr, e.what());
+    }
+    if (!close_output(options.out_file, out_file, dest, std::cerr)) return 2;
+    return 0;
   }
 
   ScenarioSuite suite(std::move(intro));

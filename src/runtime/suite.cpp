@@ -1,6 +1,7 @@
 #include "runtime/suite.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <ostream>
 
@@ -43,7 +44,9 @@ std::vector<std::string> split_commas(const std::string& text) {
 void print_usage(std::ostream& err) {
   err << "usage: [--seed S] [--seeds K] [--threads T] [--only SUBSTR] "
          "[--family NAME[,NAME]] [--set AXIS=V[,V]] [--list] [--csv] "
-         "[--json]\n";
+         "[--json] [--out FILE]\n"
+         "       [--emit-tasks | --worker | --merge SHARD...]  "
+         "(distributed sweep; see DESIGN.md)\n";
 }
 
 bool fail(std::ostream& err, const std::string& message) {
@@ -68,6 +71,30 @@ bool parse_suite_options(int argc, const char* const* argv,
     }
     if (arg == "--json") {
       options.json = true;
+      continue;
+    }
+    if (arg == "--emit-tasks") {
+      options.emit_tasks = true;
+      continue;
+    }
+    if (arg == "--worker") {
+      options.worker = true;
+      continue;
+    }
+    if (arg == "--merge") {
+      // Consumes every following non-flag argument as a shard path; "-"
+      // alone names stdin.
+      options.merge_mode = true;
+      while (i + 1 < argc) {
+        const std::string path = argv[i + 1];
+        if (path.size() >= 2 && path.compare(0, 2, "--") == 0) break;
+        options.merge.push_back(path);
+        ++i;
+      }
+      if (options.merge.empty()) {
+        return fail(err, "--merge expects at least one shard file "
+                         "(or '-' for stdin)");
+      }
       continue;
     }
     // Everything else takes a value.
@@ -96,6 +123,9 @@ bool parse_suite_options(int argc, const char* const* argv,
       options.sweep.threads = static_cast<std::size_t>(parsed);
     } else if (arg == "--only") {
       options.only = value;
+    } else if (arg == "--out") {
+      if (value.empty()) return fail(err, "--out expects a file path");
+      options.out_file = value;
     } else if (arg == "--family") {
       for (std::string& name : split_commas(value)) {
         if (name.empty()) {
@@ -125,6 +155,33 @@ bool parse_suite_options(int argc, const char* const* argv,
       return fail(err, "unknown flag '" + arg + "'");
     }
   }
+  const int modes = static_cast<int>(options.emit_tasks) +
+                    static_cast<int>(options.worker) +
+                    static_cast<int>(options.merge_mode);
+  if (modes > 1) {
+    return fail(err, "--emit-tasks, --worker and --merge are mutually "
+                     "exclusive");
+  }
+  return true;
+}
+
+bool open_output(const std::string& path, std::ofstream& file,
+                 std::ostream*& dest) {
+  if (path.empty()) return true;
+  file.open(path);
+  if (!file) return false;
+  dest = &file;
+  return true;
+}
+
+bool close_output(const std::string& path, std::ofstream& file,
+                  const std::ostream* dest, std::ostream& err) {
+  if (dest != &file) return true;
+  file.flush();
+  if (!file) {
+    err << "error: failed writing --out file '" << path << "'\n";
+    return false;
+  }
   return true;
 }
 
@@ -151,6 +208,16 @@ int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
     selected.push_back(scenario.get());
   }
 
+  // --out FILE redirects the rendered results; stdout keeps a one-line
+  // confirmation so scripted sweeps can pipe stdout/stderr freely. Opened
+  // before the sweep so a bad path fails before the work, not after.
+  std::ofstream file;
+  std::ostream* dest = &out;
+  if (!open_output(options.out_file, file, dest)) {
+    err << "error: cannot open --out file '" << options.out_file << "'\n";
+    return 2;
+  }
+
   const SweepRunner runner(options.sweep);
   std::vector<std::vector<RunRecord>> results = runner.run_all(selected);
 
@@ -161,25 +228,30 @@ int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
   }
 
   if (options.json) {
-    sink.print_json(out);
+    sink.print_json(*dest);
   } else if (options.csv) {
-    sink.print_csv(out);
+    sink.print_csv(*dest);
   } else {
-    if (!intro_.empty()) support::print_banner(out, intro_);
-    out << "sweep: " << options.sweep.num_seeds << " seed(s) from --seed "
-        << options.sweep.base_seed << '\n';
-    sink.print_tables(out);
+    if (!intro_.empty()) support::print_banner(*dest, intro_);
+    *dest << "sweep: " << options.sweep.num_seeds << " seed(s) from --seed "
+          << options.sweep.base_seed << '\n';
+    sink.print_tables(*dest);
     // Informational process counters (e.g. analyzer memo hits). Table
     // mode only: their totals depend on worker interleaving, so they
     // stay out of the deterministic CSV/JSON record.
     const auto counters = sample_process_counters();
     if (!counters.empty()) {
-      out << "\ncounters:";
+      *dest << "\ncounters:";
       for (const auto& [name, value] : counters) {
-        out << ' ' << name << '=' << value;
+        *dest << ' ' << name << '=' << value;
       }
-      out << '\n';
+      *dest << '\n';
     }
+  }
+  if (!close_output(options.out_file, file, dest, err)) return 2;
+  if (dest == &file) {
+    out << "wrote " << options.out_file << " ("
+        << (options.json ? "json" : options.csv ? "csv" : "tables") << ")\n";
   }
 
   if (sink.any_errors()) {

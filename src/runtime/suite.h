@@ -17,6 +17,16 @@
 //                 driver only)
 //   --list        print scenario families / names and exit
 //   --csv / --json  machine-readable output instead of tables
+//   --out FILE    write the rendered results to FILE instead of stdout
+//                 (stdout keeps a one-line confirmation, so scripted
+//                 sweeps can pipe freely)
+//
+// Distributed-sweep modes (registry driver only; mutually exclusive —
+// see runtime/task.h for the wire protocol):
+//   --emit-tasks  print the selected catalog as task JSONL and exit
+//   --worker      execute task JSONL from stdin, stream result JSONL
+//   --merge F...  gather result shards ("-" = stdin) into the standard
+//                 table/CSV/JSON rendering
 //
 // All scenarios of a suite are swept through ONE global (scenario, seed)
 // work queue, so a multi-scenario suite fills every worker even at
@@ -50,6 +60,11 @@ struct SuiteOptions {
   bool list = false;
   bool csv = false;
   bool json = false;
+  std::string out_file;                // --out; empty = stdout
+  bool emit_tasks = false;             // --emit-tasks
+  bool worker = false;                 // --worker
+  std::vector<std::string> merge;      // --merge shard paths ("-" = stdin)
+  bool merge_mode = false;
 };
 
 /// Parses the uniform flags; returns false (after printing a specific
@@ -59,6 +74,20 @@ struct SuiteOptions {
 [[nodiscard]] bool parse_suite_options(int argc, const char* const* argv,
                                        SuiteOptions& options,
                                        std::ostream& err);
+
+/// Routes driver output for `--out`: leaves `dest` untouched when `path`
+/// is empty, otherwise opens `file` at `path` and points `dest` at it.
+/// Returns false when the file cannot be opened. Open the output BEFORE
+/// doing any work, so a bad path cannot discard a finished sweep.
+[[nodiscard]] bool open_output(const std::string& path, std::ofstream& file,
+                               std::ostream*& dest);
+
+/// Flushes a file previously routed by open_output and reports write
+/// failures: returns false (after an "error: ..." line on `err`) when
+/// any write to `file` failed — a truncated results file must not exit
+/// 0. No-op returning true when `dest` was never redirected.
+[[nodiscard]] bool close_output(const std::string& path, std::ofstream& file,
+                                const std::ostream* dest, std::ostream& err);
 
 class ScenarioSuite {
  public:

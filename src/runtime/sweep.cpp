@@ -18,6 +18,92 @@ std::uint64_t derive_seed(std::uint64_t base_seed,
                                                  run_index + 1));
 }
 
+namespace {
+
+RunRecord execute_task(const SweepTask& task) {
+  RunRecord record;
+  record.seed = task.seed;
+  record.run_index = task.run_index;
+  try {
+    record.metrics =
+        task.scenario->run(RunContext{task.seed, task.run_index});
+  } catch (const std::exception& e) {
+    record.error = e.what();
+  } catch (...) {
+    record.error = "unknown exception";
+  }
+  return record;
+}
+
+/// The in-process source: flat (scenario, run_index) indices claimed off
+/// one atomic counter, scenario-major so a serial drain executes exactly
+/// like the old per-scenario loop.
+class IndexedTaskSource final : public TaskSource {
+ public:
+  IndexedTaskSource(const std::vector<const Scenario*>& scenarios,
+                    const SweepOptions& options)
+      : scenarios_(scenarios), options_(options) {}
+
+  bool next(SweepTask& task) override {
+    const std::size_t flat = next_.fetch_add(1);
+    if (flat >= scenarios_.size() * options_.num_seeds) return false;
+    const std::size_t i = flat % options_.num_seeds;
+    // Aliasing shared_ptr: the suite owns the scenario for the whole
+    // sweep, so the task needs no ownership of its own.
+    task.scenario = std::shared_ptr<const Scenario>(
+        std::shared_ptr<const Scenario>{}, scenarios_[flat / options_.num_seeds]);
+    task.seed = derive_seed(options_.base_seed, i);
+    task.run_index = i;
+    task.slot = flat;
+    return true;
+  }
+
+ private:
+  const std::vector<const Scenario*>& scenarios_;
+  const SweepOptions& options_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// The in-process collector: each record lands in its own (scenario,
+/// run_index) slot, so no synchronization beyond the slot math is needed.
+class SlottedCollector final : public ResultCollector {
+ public:
+  SlottedCollector(std::vector<std::vector<RunRecord>>& records,
+                   std::size_t num_seeds)
+      : records_(records), num_seeds_(num_seeds) {}
+
+  void collect(const SweepTask& task, RunRecord record) override {
+    records_[task.slot / num_seeds_][task.slot % num_seeds_] =
+        std::move(record);
+  }
+
+ private:
+  std::vector<std::vector<RunRecord>>& records_;
+  std::size_t num_seeds_;
+};
+
+}  // namespace
+
+void run_task_pool(TaskSource& source, ResultCollector& collector,
+                   std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1) {
+    SweepTask task;
+    while (source.next(task)) collector.collect(task, execute_task(task));
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      SweepTask task;
+      while (source.next(task)) collector.collect(task, execute_task(task));
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
   FINDEP_REQUIRE(options_.num_seeds > 0);
 }
@@ -33,54 +119,17 @@ std::vector<std::vector<RunRecord>> SweepRunner::run_all(
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     FINDEP_REQUIRE(scenarios[s] != nullptr);
     records[s].resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      records[s][i].seed = derive_seed(options_.base_seed, i);
-      records[s][i].run_index = i;
-    }
   }
-
-  // One flat task per (scenario, run_index); scenario-major order so the
-  // serial path executes exactly like the old per-scenario loop.
-  const std::size_t total = scenarios.size() * n;
-  const auto execute = [&](std::size_t task) {
-    const std::size_t s = task / n;
-    RunRecord& record = records[s][task % n];
-    try {
-      record.metrics =
-          scenarios[s]->run(RunContext{record.seed, record.run_index});
-    } catch (const std::exception& e) {
-      record.error = e.what();
-    } catch (...) {
-      record.error = "unknown exception";
-    }
-  };
 
   std::size_t threads = options_.threads != 0
                             ? options_.threads
                             : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
-  threads = std::min(threads, total);
+  threads = std::min(threads, scenarios.size() * n);
 
-  if (threads <= 1) {
-    for (std::size_t task = 0; task < total; ++task) execute(task);
-    return records;
-  }
-
-  // Work-stealing by atomic counter: workers claim flat task indices off
-  // the global queue; each task writes only its own (scenario, run) slot,
-  // so no further synchronization is needed.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t task = next.fetch_add(1); task < total;
-           task = next.fetch_add(1)) {
-        execute(task);
-      }
-    });
-  }
-  for (std::thread& worker : pool) worker.join();
+  IndexedTaskSource source(scenarios, options_);
+  SlottedCollector collector(records, n);
+  run_task_pool(source, collector, threads);
   return records;
 }
 

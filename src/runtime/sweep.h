@@ -12,15 +12,62 @@
 // pair of a multi-scenario sweep is one task claimed off one atomic
 // counter, so a suite of S scenarios keeps all workers busy even at
 // --seeds 1 (the old per-scenario pools left S−1 scenarios waiting).
+//
+// The queue itself is an abstraction: `run_task_pool` drains any
+// `TaskSource` into any `ResultCollector` on the worker pool. The
+// in-process sweep (`SweepRunner::run_all`) and the wire-format worker
+// (`runtime/task.h`, tasks read as JSONL off stdin) are two
+// implementations of the same seam, so distributing a sweep across
+// processes cannot change per-run execution.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "runtime/metrics.h"
 #include "runtime/scenario.h"
 
 namespace findep::runtime {
+
+/// One claimed unit of sweep work: a scenario instance to execute at an
+/// already-derived seed. `slot` is an opaque position assigned by the
+/// TaskSource (in-process: the flat scenario×run index; wire worker: the
+/// task's input ordinal) that the ResultCollector uses to place the
+/// record independently of completion order. The shared_ptr keeps
+/// wire-built instances alive until their run completes; in-process
+/// sources alias suite-owned scenarios without ownership.
+struct SweepTask {
+  std::shared_ptr<const Scenario> scenario;
+  std::uint64_t seed = 0;
+  std::size_t run_index = 0;
+  std::size_t slot = 0;
+};
+
+/// Hands out tasks to the worker pool. `next` must be safe to call from
+/// several workers concurrently.
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+  /// Claims the next task into `task`; returns false when drained.
+  virtual bool next(SweepTask& task) = 0;
+};
+
+/// Receives one RunRecord per claimed task, in completion order (use
+/// `task.slot` to restore a deterministic order). Must be thread-safe.
+class ResultCollector {
+ public:
+  virtual ~ResultCollector() = default;
+  virtual void collect(const SweepTask& task, RunRecord record) = 0;
+};
+
+/// Drains `source` into `collector` on `threads` workers (0 = hardware
+/// concurrency; <=1 runs inline on the calling thread). Each task's
+/// scenario runs with RunContext{task.seed, task.run_index}; a throwing
+/// run yields a record carrying the message in `error`. The seed and
+/// run_index of the task are copied into the record verbatim.
+void run_task_pool(TaskSource& source, ResultCollector& collector,
+                   std::size_t threads);
 
 struct SweepOptions {
   /// Master seed of the sweep; per-run seeds derive from it.
