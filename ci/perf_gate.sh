@@ -1,0 +1,108 @@
+#!/usr/bin/env sh
+# Hard performance gate for CI (and local use).
+#
+# Runs the measured `micro` family and the deterministic `bft_batching`
+# family through findep-bench and compares against ci/micro_baseline.csv:
+#
+#   kind=time   rows (micro ns_per_op): FAIL when the measured mean
+#               exceeds baseline x tolerance (default 1.5x — shared
+#               runners are noisy, so time baselines carry headroom).
+#   kind=count  rows (bft_batching messages-per-request counters): FAIL
+#               on anything but exact equality of the printed value —
+#               these are seed-derived protocol counts, so any drift is a
+#               real behaviour change, not noise.
+#
+# A baselined row that disappears from the current run also fails (a
+# renamed scenario must be rebaselined deliberately, not silently).
+#
+# usage: ci/perf_gate.sh [--update-baseline] [--tolerance X]
+#                        [--baseline FILE] path/to/findep-bench
+#
+# --update-baseline rewrites the baseline from the current run. Count
+# rows are safe to take verbatim (deterministic); REVIEW the time rows
+# before committing — a fast workstation's timings become the budget CI
+# runners must meet within the tolerance. See README "Rebaselining".
+set -eu
+
+script_dir=$(dirname "$0")
+baseline="$script_dir/micro_baseline.csv"
+tolerance=1.5
+update=0
+bench=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --update-baseline) update=1 ;;
+    --tolerance) shift; tolerance="$1" ;;
+    --baseline) shift; baseline="$1" ;;
+    -*) echo "unknown flag '$1'" >&2; exit 2 ;;
+    *) bench="$1" ;;
+  esac
+  shift
+done
+if [ -z "$bench" ]; then
+  echo "usage: $0 [--update-baseline] [--tolerance X] [--baseline FILE]" \
+       "path/to/findep-bench" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$bench" --family micro --seeds 3 --csv --out "$tmp/micro.csv" > /dev/null
+"$bench" --family bft_batching --seeds 2 --csv --out "$tmp/batching.csv" \
+  > /dev/null
+
+# scenario,metric,mean for every gated row of the current run.
+awk -F, 'FNR > 1 && $4 == "ns_per_op" {print $2 "," $4 "," $5}' \
+  "$tmp/micro.csv" > "$tmp/current_time.csv"
+awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
+                     $4 == "msgs_per_committed_request") \
+         {print $2 "," $4 "," $5}' \
+  "$tmp/batching.csv" > "$tmp/current_count.csv"
+
+if [ "$update" = 1 ]; then
+  {
+    echo "scenario,metric,kind,baseline"
+    awk -F, '{print $1 "," $2 ",time," $3}' "$tmp/current_time.csv"
+    awk -F, '{print $1 "," $2 ",count," $3}' "$tmp/current_count.csv"
+  } > "$baseline"
+  rows=$(($(wc -l < "$baseline") - 1))
+  echo "rebaselined $rows rows into $baseline"
+  echo "NOTE: review the kind=time rows for headroom before committing."
+  exit 0
+fi
+
+awk -F, -v tol="$tolerance" '
+  NR == FNR {
+    if (FNR > 1) { kind[$1 SUBSEP $2] = $3; base[$1 SUBSEP $2] = $4 }
+    next
+  }
+  {
+    key = $1 SUBSEP $2
+    if (!(key in base)) next  # not yet baselined: run --update-baseline
+    seen[key] = 1
+    if (kind[key] == "time") {
+      if ($3 + 0 > base[key] * tol) {
+        printf "FAIL %s %s: %.0f ns/op exceeds baseline %.0f x tolerance %s\n",
+               $1, $2, $3, base[key], tol
+        failed = 1
+      }
+    } else if ($3 != base[key]) {
+      printf "FAIL %s %s: %s != baseline %s (deterministic counter drifted)\n",
+             $1, $2, $3, base[key]
+      failed = 1
+    }
+  }
+  END {
+    for (key in base) {
+      if (!(key in seen)) {
+        split(key, parts, SUBSEP)
+        printf "FAIL %s %s: baselined row missing from the current run\n",
+               parts[1], parts[2]
+        failed = 1
+      }
+    }
+    exit failed ? 1 : 0
+  }
+' "$baseline" "$tmp/current_time.csv" "$tmp/current_count.csv"
+echo "perf gate OK ($baseline, tolerance ${tolerance}x on time rows)"

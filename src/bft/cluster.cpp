@@ -71,7 +71,7 @@ std::uint64_t BftCluster::submit() {
   // The client is not attached, so a network broadcast reaches exactly
   // the replicas — with one shared body instead of n payload copies.
   const net::Envelope wire(make_envelope(client_id_, *client_keys_, request));
-  network_->broadcast(client_id_, wire, 512);
+  network_->broadcast(client_id_, wire, payload_wire_bytes(Payload{request}));
   return rid;
 }
 
@@ -143,6 +143,22 @@ std::size_t BftCluster::min_honest_executed() const {
     min_count = std::min(min_count, real_executed_[i]);
   }
   return any ? min_count : 0;
+}
+
+std::size_t BftCluster::completed_requests() const {
+  std::size_t count = 0;
+  for (const RequestTrace& t : traces_) {
+    if (t.done()) ++count;
+  }
+  return count;
+}
+
+double BftCluster::last_completion_time() const {
+  double latest = 0.0;
+  for (const RequestTrace& t : traces_) {
+    if (t.done()) latest = std::max(latest, t.executed_at);
+  }
+  return latest;
 }
 
 double BftCluster::mean_latency() const {

@@ -76,6 +76,15 @@ class BftCluster {
   /// least one completed request.
   [[nodiscard]] double mean_latency() const;
 
+  /// Number of submitted requests some honest replica has executed.
+  /// Batching note: a RequestTrace completes when its *request* first
+  /// executes at an honest replica — slot (batch) granularity never leaks
+  /// into latency semantics.
+  [[nodiscard]] std::size_t completed_requests() const;
+
+  /// Simulated time of the last request completion (0 when none).
+  [[nodiscard]] double last_completion_time() const;
+
  private:
   void init(std::vector<double> weights, std::vector<Behavior> behaviors);
   void observe_executions();

@@ -1,5 +1,7 @@
 #include "bft/messages.h"
 
+#include <type_traits>
+
 namespace findep::bft {
 
 crypto::Digest Request::digest() const {
@@ -10,12 +12,24 @@ crypto::Digest Request::digest() const {
       .finish();
 }
 
+crypto::Digest Batch::digest() const {
+  // Commits to count and order: the i-th request digest is folded in at
+  // position i, so reordering or dropping a request changes the batch.
+  crypto::Sha256 h;
+  h.update("findep/bft/batch/v1");
+  h.update_u64(requests.size());
+  for (const Request& r : requests) {
+    h.update(r.digest().bytes);
+  }
+  return h.finish();
+}
+
 crypto::Digest PrePrepare::digest() const {
   return crypto::Sha256{}
       .update("findep/bft/preprepare/v1")
       .update_u64(view)
       .update_u64(seq)
-      .update(request.digest().bytes)
+      .update(batch.digest().bytes)
       .finish();
 }
 
@@ -54,7 +68,7 @@ crypto::Digest ViewChange::digest() const {
   for (const PreparedEntry& e : prepared) {
     h.update_u64(e.view);
     h.update_u64(e.seq);
-    h.update(e.request.digest().bytes);
+    h.update(e.batch.digest().bytes);
   }
   return h.finish();
 }
@@ -78,6 +92,60 @@ crypto::Digest NewView::digest() const {
 
 crypto::Digest payload_digest(const Payload& payload) {
   return std::visit([](const auto& msg) { return msg.digest(); }, payload);
+}
+
+namespace {
+/// Wire-size model constants (bytes). kControlBytes covers the fixed
+/// header of the small fixed-size messages (prepare/commit/checkpoint);
+/// kRequestBytes is a full client request; kBatchedRequestBytes is a
+/// request body inside a batch (the envelope header is shared), chosen so
+/// control header + one batched request == one unbatched request message.
+constexpr std::uint64_t kControlBytes = 192;
+constexpr std::uint64_t kRequestBytes = 512;
+constexpr std::uint64_t kBatchedRequestBytes = kRequestBytes - kControlBytes;
+constexpr std::uint64_t kViewChangeBytes = 1024;
+constexpr std::uint64_t kPreparedEntryBytes = 48;  // (view, seq, digest) frame
+constexpr std::uint64_t kNewViewBytes = 4096;
+
+std::uint64_t batch_body_bytes(const Batch& batch) {
+  return kBatchedRequestBytes * batch.size();
+}
+
+std::uint64_t viewchange_wire_bytes(const ViewChange& vc) {
+  std::uint64_t bytes = kViewChangeBytes;
+  for (const PreparedEntry& e : vc.prepared) {
+    bytes += kPreparedEntryBytes + batch_body_bytes(e.batch);
+  }
+  return bytes;
+}
+}  // namespace
+
+std::uint64_t payload_wire_bytes(const Payload& payload) {
+  return std::visit(
+      [](const auto& msg) -> std::uint64_t {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Request>) {
+          return kRequestBytes;
+        } else if constexpr (std::is_same_v<T, PrePrepare>) {
+          return kControlBytes + batch_body_bytes(msg.batch);
+        } else if constexpr (std::is_same_v<T, ViewChange>) {
+          return viewchange_wire_bytes(msg);
+        } else if constexpr (std::is_same_v<T, NewView>) {
+          // A new-view embeds its full view-change quorum plus the
+          // re-proposals derived from it.
+          std::uint64_t bytes = kNewViewBytes;
+          for (const SignedViewChange& s : msg.proofs) {
+            bytes += viewchange_wire_bytes(s.vc);
+          }
+          for (const PrePrepare& pp : msg.reproposals) {
+            bytes += kControlBytes + batch_body_bytes(pp.batch);
+          }
+          return bytes;
+        } else {
+          return kControlBytes;  // Prepare / Commit / Checkpoint
+        }
+      },
+      payload);
 }
 
 Envelope make_envelope(ReplicaId sender, const crypto::KeyPair& keys,

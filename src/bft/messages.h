@@ -31,10 +31,25 @@ struct Request {
   bool operator==(const Request&) const = default;
 };
 
+/// An ordered block of client requests agreed on as one consensus
+/// instance: the primary amortizes the O(n²) prepare/commit fan-out over
+/// every request in the batch. The combined digest commits to count and
+/// order, so two batches over the same requests in different order are
+/// distinct proposals. An empty batch is the no-op filler used for
+/// sequence gaps during view changes (it executes nothing).
+struct Batch {
+  std::vector<Request> requests;
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+  [[nodiscard]] crypto::Digest digest() const;
+  bool operator==(const Batch&) const = default;
+};
+
 struct PrePrepare {
   View view = 0;
   SeqNum seq = 0;
-  Request request;
+  Batch batch;
 
   [[nodiscard]] crypto::Digest digest() const;
 };
@@ -63,11 +78,13 @@ struct Checkpoint {
 };
 
 /// A prepared certificate entry carried inside a view change: the replica
-/// prepared `request` at (view, seq).
+/// prepared `batch` at (view, seq). View changes operate at batch
+/// granularity — a prepared batch survives into the new view whole, so
+/// safety at the request level follows from safety at the batch level.
 struct PreparedEntry {
   View view = 0;
   SeqNum seq = 0;
-  Request request;
+  Batch batch;
 };
 
 struct ViewChange {
@@ -112,6 +129,15 @@ struct Envelope {
 
 /// Digest of any payload alternative (dispatches on the variant).
 [[nodiscard]] crypto::Digest payload_digest(const Payload& payload);
+
+/// Wire-size model (bytes) of a payload, used for traffic accounting.
+/// Sizes are per-message header plus per-element body for the
+/// variable-length payloads (batches, view changes carrying prepared
+/// batches, new-views embedding their proof quorum), so `bytes_sent`
+/// tracks what a real deployment would put on the wire instead of a flat
+/// per-type constant. A single-request batch costs exactly what the
+/// unbatched protocol charged, keeping batch_size=1 accounting identical.
+[[nodiscard]] std::uint64_t payload_wire_bytes(const Payload& payload);
 
 /// Signs a payload as `sender`.
 [[nodiscard]] Envelope make_envelope(ReplicaId sender,

@@ -8,17 +8,7 @@
 
 namespace findep::bft {
 
-namespace {
-/// Wire-size model (bytes) per message type; only used for traffic stats.
-constexpr std::uint64_t kSmallMessage = 192;
-constexpr std::uint64_t kRequestMessage = 512;
-constexpr std::uint64_t kViewChangeMessage = 1024;
-constexpr std::uint64_t kNewViewMessage = 4096;
-}  // namespace
-
-Request Replica::noop_request() {
-  return Request{0, crypto::Digest{}};
-}
+Batch Replica::noop_batch() { return Batch{}; }
 
 Replica::Replica(ReplicaId id, std::vector<double> weights,
                  std::vector<crypto::PublicKey> directory,
@@ -37,6 +27,8 @@ Replica::Replica(ReplicaId id, std::vector<double> weights,
   FINDEP_REQUIRE(options_.request_timeout > 0.0);
   FINDEP_REQUIRE(options_.view_change_timeout > 0.0);
   FINDEP_REQUIRE(options_.checkpoint_interval > 0);
+  FINDEP_REQUIRE(options_.batch_size >= 1);
+  FINDEP_REQUIRE(options_.batch_timeout > 0.0);
   for (const double w : weights_) {
     FINDEP_REQUIRE(w > 0.0);
     total_weight_ += w;
@@ -64,8 +56,9 @@ void Replica::start() {
                    [this](const net::Message& msg) { on_message(msg); });
 }
 
-void Replica::broadcast(Payload payload, std::uint64_t bytes) {
+void Replica::broadcast(Payload payload) {
   if (options_.behavior == Behavior::kSilent) return;
+  const std::uint64_t bytes = payload_wire_bytes(payload);
   // One shared body for the whole fan-out (every replica is attached, so
   // the network broadcast reaches exactly the other replicas)...
   const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
@@ -74,8 +67,9 @@ void Replica::broadcast(Payload payload, std::uint64_t bytes) {
   network_->send(id_, id_, wire, bytes);
 }
 
-void Replica::send_to(net::NodeId to, Payload payload, std::uint64_t bytes) {
+void Replica::send_to(net::NodeId to, Payload payload) {
   if (options_.behavior == Behavior::kSilent) return;
+  const std::uint64_t bytes = payload_wire_bytes(payload);
   network_->send(id_, to, make_envelope(id_, keys_, std::move(payload)),
                  bytes);
 }
@@ -165,60 +159,97 @@ void Replica::on_request(const Request& request, net::NodeId from) {
   arm_request_timer();
   if (in_view_change_) return;
   if (is_primary()) {
-    propose(request);
+    enqueue_for_proposal(request);
   } else if (from >= weights_.size() || from == id_) {
     // Came from a client (or local submit): relay to the primary.
-    send_to(primary_of(view_), request, kRequestMessage);
+    send_to(primary_of(view_), request);
   }
 }
 
-void Replica::propose(const Request& request) {
+void Replica::enqueue_for_proposal(const Request& request) {
   FINDEP_REQUIRE(is_primary());
   if (request.id != 0 &&
-      (assigned_.contains(request.id) || executed_ids_.contains(request.id))) {
+      (queued_ids_.contains(request.id) || assigned_.contains(request.id) ||
+       executed_ids_.contains(request.id))) {
     return;
   }
+  batch_queue_.push_back(request);
+  if (request.id != 0) queued_ids_[request.id] = true;
+  if (batch_queue_.size() >= options_.batch_size) {
+    // Cut synchronously: with batch_size = 1 every request is proposed
+    // the moment it arrives and the batch timer is never armed, which is
+    // exactly the unbatched protocol.
+    cut_batch();
+  } else {
+    arm_batch_timer();
+  }
+}
+
+void Replica::cut_batch() {
+  disarm_batch_timer();
+  if (batch_queue_.empty()) return;
+  Batch batch;
+  batch.requests.swap(batch_queue_);
+  for (const Request& r : batch.requests) {
+    if (r.id != 0) queued_ids_.erase(r.id);
+  }
+  propose(std::move(batch));
+}
+
+void Replica::propose(Batch batch) {
+  FINDEP_REQUIRE(is_primary());
   const SeqNum seq = next_seq_++;
-  if (request.id != 0) assigned_[request.id] = seq;
+  for (const Request& r : batch.requests) {
+    if (r.id != 0) assigned_[r.id] = seq;
+  }
 
   if (options_.behavior == Behavior::kEquivocate) {
-    // Conflicting proposals: the real request to the first half, a
-    // fabricated one to the second half. Neither half can reach a
-    // prepared certificate for a conflicting pair.
-    Request forged = request;
-    forged.id ^= 0x8000000000000000ULL;
-    forged.operation = crypto::Sha256{}
-                           .update("findep/forged/v1")
-                           .update(request.operation.bytes)
-                           .finish();
-    const PrePrepare real{view_, seq, request};
-    const PrePrepare fake{view_, seq, forged};
+    // Conflicting proposals: the real batch to the first half, a
+    // fabricated one (every request forged) to the second half. Neither
+    // half can reach a prepared certificate for a conflicting pair.
+    Batch forged_batch;
+    forged_batch.requests.reserve(batch.size());
+    for (const Request& r : batch.requests) {
+      Request forged = r;
+      forged.id ^= 0x8000000000000000ULL;
+      forged.operation = crypto::Sha256{}
+                             .update("findep/forged/v1")
+                             .update(r.operation.bytes)
+                             .finish();
+      forged_batch.requests.push_back(forged);
+    }
+    const PrePrepare real{view_, seq, std::move(batch)};
+    const PrePrepare fake{view_, seq, std::move(forged_batch)};
     for (ReplicaId r = 0; r < weights_.size(); ++r) {
       if (r == id_) continue;
-      send_to(r, r % 2 == 0 ? Payload{real} : Payload{fake}, kRequestMessage);
+      send_to(r, r % 2 == 0 ? Payload{real} : Payload{fake});
     }
     return;  // the equivocator does not even convince itself
   }
 
-  broadcast(PrePrepare{view_, seq, request}, kRequestMessage);
+  broadcast(PrePrepare{view_, seq, std::move(batch)});
 }
 
 void Replica::on_preprepare(const PrePrepare& pp, ReplicaId from) {
   if (in_view_change_ || pp.view != view_) return;
   if (from != primary_of(pp.view)) return;
-  if (pp.seq <= last_executed_ || pp.seq <= stable_checkpoint_) return;
+  // Reject by our own execution horizon, not the stable checkpoint: a
+  // lagging replica may adopt a *remote* stable checkpoint above its own
+  // last_executed_ and, with no state transfer, must still be able to
+  // finish its in-flight slots below it (same in on_prepare/on_commit).
+  if (pp.seq <= last_executed_) return;
   accept_preprepare(pp);
 }
 
 void Replica::accept_preprepare(const PrePrepare& pp) {
   Slot& slot = slots_[pp.seq];
-  const crypto::Digest digest = pp.request.digest();
-  if (slot.have_preprepare && slot.request_digest != digest) {
+  const crypto::Digest digest = pp.batch.digest();
+  if (slot.have_preprepare && slot.batch_digest != digest) {
     return;  // conflicting pre-prepare from an equivocating primary
   }
   slot.have_preprepare = true;
-  slot.request = pp.request;
-  slot.request_digest = digest;
+  slot.batch = pp.batch;
+  slot.batch_digest = digest;
   // The primary's pre-prepare doubles as its prepare vote.
   slot.prepare_votes[digest][primary_of(pp.view)] =
       weight_of(primary_of(pp.view));
@@ -226,20 +257,24 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
   if (!slot.sent_prepare && id_ != primary_of(pp.view)) {
     slot.sent_prepare = true;
     slot.prepare_votes[digest][id_] = weight_of(id_);
-    broadcast(Prepare{pp.view, pp.seq, digest}, kSmallMessage);
+    broadcast(Prepare{pp.view, pp.seq, digest});
   }
-  // Track the request for liveness even if it reached us only via the
-  // primary.
-  if (pp.request.id != 0 && !executed_ids_.contains(pp.request.id)) {
-    pending_requests_[pp.request.id] = pp.request;
-    arm_request_timer();
+  // Track the batch's requests for liveness even if they reached us only
+  // via the primary.
+  bool tracked = false;
+  for (const Request& r : slot.batch.requests) {
+    if (r.id != 0 && !executed_ids_.contains(r.id)) {
+      pending_requests_[r.id] = r;
+      tracked = true;
+    }
   }
+  if (tracked) arm_request_timer();
   maybe_prepared(pp.seq);
 }
 
 void Replica::on_prepare(const Prepare& p, ReplicaId from) {
   if (in_view_change_ || p.view != view_) return;
-  if (p.seq <= last_executed_ || p.seq <= stable_checkpoint_) return;
+  if (p.seq <= last_executed_) return;
   Slot& slot = slots_[p.seq];
   slot.prepare_votes[p.request_digest][from] = weight_of(from);
   maybe_prepared(p.seq);
@@ -250,7 +285,7 @@ void Replica::maybe_prepared(SeqNum seq) {
   if (it == slots_.end()) return;
   Slot& slot = it->second;
   if (!slot.have_preprepare || slot.prepared) return;
-  const auto votes = slot.prepare_votes.find(slot.request_digest);
+  const auto votes = slot.prepare_votes.find(slot.batch_digest);
   if (votes == slot.prepare_votes.end()) return;
   if (!is_quorum(vote_weight(votes->second))) return;
 
@@ -258,15 +293,15 @@ void Replica::maybe_prepared(SeqNum seq) {
   slot.prepared_view = view_;
   if (!slot.sent_commit) {
     slot.sent_commit = true;
-    slot.commit_votes[slot.request_digest][id_] = weight_of(id_);
-    broadcast(Commit{view_, seq, slot.request_digest}, kSmallMessage);
+    slot.commit_votes[slot.batch_digest][id_] = weight_of(id_);
+    broadcast(Commit{view_, seq, slot.batch_digest});
   }
   maybe_committed(seq);
 }
 
 void Replica::on_commit(const Commit& c, ReplicaId from) {
   if (in_view_change_ || c.view != view_) return;
-  if (c.seq <= last_executed_ || c.seq <= stable_checkpoint_) return;
+  if (c.seq <= last_executed_) return;
   Slot& slot = slots_[c.seq];
   slot.commit_votes[c.request_digest][from] = weight_of(from);
   maybe_committed(c.seq);
@@ -277,7 +312,7 @@ void Replica::maybe_committed(SeqNum seq) {
   if (it == slots_.end()) return;
   Slot& slot = it->second;
   if (!slot.prepared || slot.committed) return;
-  const auto votes = slot.commit_votes.find(slot.request_digest);
+  const auto votes = slot.commit_votes.find(slot.batch_digest);
   if (votes == slot.commit_votes.end()) return;
   if (!is_quorum(vote_weight(votes->second))) return;
   slot.committed = true;
@@ -290,10 +325,18 @@ void Replica::execute_ready() {
     if (it == slots_.end() || !it->second.committed) break;
     Slot& slot = it->second;
     ++last_executed_;
-    executed_.push_back(ExecutedEntry{last_executed_, slot.request});
-    if (slot.request.id != 0) {
-      executed_ids_[slot.request.id] = true;
-      pending_requests_.erase(slot.request.id);
+    // Unroll the batch into per-request log entries (all at this slot's
+    // seq, in batch order). Dedup holds across batch boundaries: a
+    // request id that already executed — in an earlier batch or earlier
+    // in this one — is skipped, so a Byzantine primary repeating a
+    // request cannot make it execute twice.
+    for (const Request& r : slot.batch.requests) {
+      if (r.id != 0) {
+        if (executed_ids_.contains(r.id)) continue;
+        executed_ids_[r.id] = true;
+        pending_requests_.erase(r.id);
+      }
+      executed_.push_back(ExecutedEntry{last_executed_, r});
     }
   }
   if (pending_requests_.empty()) {
@@ -315,7 +358,7 @@ void Replica::maybe_checkpoint() {
     h.update_u64(e.seq);
     h.update(e.request.digest().bytes);
   }
-  broadcast(Checkpoint{seq, h.finish()}, kSmallMessage);
+  broadcast(Checkpoint{seq, h.finish()});
 }
 
 void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from) {
@@ -324,9 +367,13 @@ void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from) {
   votes[from] = weight_of(from);
   if (!is_quorum(vote_weight(votes))) return;
   stable_checkpoint_ = cp.seq;
-  // Prune consensus state at and below the stable checkpoint.
+  // Prune consensus state at and below the stable checkpoint — but never
+  // above our own execution horizon: a replica that lags behind a remote
+  // checkpoint keeps its in-flight slots, otherwise it strands itself
+  // (there is no state transfer) and thrashes hopeless view changes.
+  const SeqNum prune_to = std::min(stable_checkpoint_, last_executed_);
   for (auto it = slots_.begin(); it != slots_.end();) {
-    it = it->first <= stable_checkpoint_ ? slots_.erase(it) : std::next(it);
+    it = it->first <= prune_to ? slots_.erase(it) : std::next(it);
   }
   for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
     it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
@@ -373,6 +420,24 @@ void Replica::disarm_viewchange_timer() {
   }
 }
 
+void Replica::arm_batch_timer() {
+  if (batch_timer_.has_value() || batch_queue_.empty()) return;
+  batch_timer_ = network_->simulator().schedule_after(
+      options_.batch_timeout, [this] {
+        batch_timer_.reset();
+        // Cut whatever accumulated: a partial batch must not wait for
+        // traffic that may never come (liveness of light load).
+        if (!in_view_change_ && is_primary()) cut_batch();
+      });
+}
+
+void Replica::disarm_batch_timer() {
+  if (batch_timer_.has_value()) {
+    network_->simulator().cancel(*batch_timer_);
+    batch_timer_.reset();
+  }
+}
+
 // --- view change -------------------------------------------------------
 
 void Replica::start_view_change(View target) {
@@ -382,6 +447,7 @@ void Replica::start_view_change(View target) {
   pending_view_ = target;
   ++view_changes_started_;
   disarm_request_timer();
+  disarm_batch_timer();
 
   ViewChange vc;
   vc.new_view = target;
@@ -389,11 +455,11 @@ void Replica::start_view_change(View target) {
   for (const auto& [seq, slot] : slots_) {
     if (slot.prepared && seq > stable_checkpoint_) {
       vc.prepared.push_back(
-          PreparedEntry{slot.prepared_view, seq, slot.request});
+          PreparedEntry{slot.prepared_view, seq, slot.batch});
     }
   }
   arm_viewchange_timer(target);
-  broadcast(vc, kViewChangeMessage);
+  broadcast(vc);
 }
 
 void Replica::on_viewchange(const ViewChange& vc, ReplicaId from,
@@ -443,7 +509,7 @@ std::vector<PrePrepare> Replica::compute_reproposals(
       }
     }
     out.push_back(PrePrepare{
-        target, seq, best != nullptr ? best->request : noop_request()});
+        target, seq, best != nullptr ? best->batch : noop_batch()});
   }
   return out;
 }
@@ -468,7 +534,7 @@ void Replica::maybe_assemble_new_view(View target) {
   nv.view = target;
   nv.proofs = it->second;
   nv.reproposals = compute_reproposals(target, nv.proofs);
-  broadcast(nv, kNewViewMessage);
+  broadcast(nv);
 }
 
 void Replica::on_newview(const NewView& nv, ReplicaId from) {
@@ -498,7 +564,7 @@ void Replica::on_newview(const NewView& nv, ReplicaId from) {
   for (std::size_t i = 0; i < expected.size(); ++i) {
     if (expected[i].view != nv.reproposals[i].view ||
         expected[i].seq != nv.reproposals[i].seq ||
-        !(expected[i].request == nv.reproposals[i].request)) {
+        !(expected[i].batch == nv.reproposals[i].batch)) {
       return;
     }
   }
@@ -522,11 +588,16 @@ void Replica::install_new_view(const NewView& nv) {
   SeqNum max_seq = last_executed_;
   for (const PrePrepare& pp : nv.reproposals) {
     max_seq = std::max(max_seq, pp.seq);
-    if (pp.seq <= last_executed_ || pp.seq <= stable_checkpoint_) continue;
+    if (pp.seq <= last_executed_) continue;
     accept_preprepare(pp);
   }
   next_seq_ = max_seq + 1;
   assigned_.clear();
+  // The old view's batch queue is void: its requests are still in
+  // pending_requests_ and get re-driven below, through the new primary.
+  disarm_batch_timer();
+  batch_queue_.clear();
+  queued_ids_.clear();
 
   // Replay normal-case traffic that raced ahead of our installation.
   replay_future_messages();
@@ -534,11 +605,14 @@ void Replica::install_new_view(const NewView& nv) {
   // Re-drive pending client requests in the new view.
   if (is_primary()) {
     for (const auto& [rid, request] : pending_requests_) {
-      propose(request);
+      enqueue_for_proposal(request);
     }
+    // Don't leave a partial batch waiting on the timer: these requests
+    // already aged through a whole view change.
+    cut_batch();
   } else {
     for (const auto& [rid, request] : pending_requests_) {
-      send_to(primary_of(view_), request, kRequestMessage);
+      send_to(primary_of(view_), request);
     }
   }
   arm_request_timer();

@@ -1,7 +1,9 @@
 // A PBFT replica over the simulated network.
 //
-// Implements the normal three-phase case (pre-prepare / prepare / commit),
-// checkpointing, and view changes with NEW-VIEW proof verification, using
+// Implements the normal three-phase case (pre-prepare / prepare / commit)
+// over *request batches* (one consensus instance orders a block of client
+// requests; see ReplicaOptions::batch_size), checkpointing, and view
+// changes with NEW-VIEW proof verification, using
 // *weighted* quorums: each replica carries a voting power w_i and
 // certificates require strictly more than 2/3 of the total power (for
 // unit weights and n = 3f+1 this is exactly the classic 2f+1). Safety
@@ -44,6 +46,18 @@ struct ReplicaOptions {
   double view_change_timeout = 1.5;
   /// Execute-to-checkpoint distance.
   SeqNum checkpoint_interval = 16;
+  /// Primary-side batching: accumulate pending requests and cut a batch
+  /// as soon as `batch_size` are queued, or `batch_timeout` simulated
+  /// seconds after the first queued request — whichever comes first.
+  /// batch_size = 1 cuts on every request immediately and never arms the
+  /// timer, which is behaviourally identical to the unbatched protocol.
+  /// Keep batch_timeout well below request_timeout unless batches always
+  /// fill by size: a lone request waiting out a slower batch timer lets
+  /// the backups' request timers fire first, costing a spurious view
+  /// change (the new primary flushes the partial batch on install, so it
+  /// recovers — but each light-load lull pays one view change).
+  std::size_t batch_size = 1;
+  double batch_timeout = 0.05;
   Behavior behavior = Behavior::kHonest;
 };
 
@@ -98,14 +112,17 @@ class Replica {
     return primary_of(view_) == id_;
   }
 
-  /// The request used to fill sequence gaps during view changes.
-  [[nodiscard]] static Request noop_request();
+  /// The batch used to fill sequence gaps during view changes: empty, so
+  /// executing it is a no-op at request granularity.
+  [[nodiscard]] static Batch noop_batch();
 
  private:
+  /// Consensus state of one sequence number. One slot agrees on one
+  /// *batch*; execution unrolls the batch into per-request log entries.
   struct Slot {
     bool have_preprepare = false;
-    Request request;
-    crypto::Digest request_digest;
+    Batch batch;
+    crypto::Digest batch_digest;
     /// Votes keyed by digest then sender (handles out-of-order arrival
     /// and equivocation).
     std::map<crypto::Digest, std::map<ReplicaId, double>> prepare_votes;
@@ -129,7 +146,9 @@ class Replica {
   void on_newview(const NewView& nv, ReplicaId from);
 
   // --- normal case --------------------------------------------------------
-  void propose(const Request& request);
+  void enqueue_for_proposal(const Request& request);
+  void cut_batch();
+  void propose(Batch batch);
   void accept_preprepare(const PrePrepare& pp);
   void maybe_prepared(SeqNum seq);
   void maybe_committed(SeqNum seq);
@@ -145,8 +164,11 @@ class Replica {
   void install_new_view(const NewView& nv);
 
   // --- helpers ------------------------------------------------------------
-  void broadcast(Payload payload, std::uint64_t bytes);
-  void send_to(net::NodeId to, Payload payload, std::uint64_t bytes);
+  // Byte accounting is derived from the payload itself
+  // (payload_wire_bytes), so variable-length payloads — batches,
+  // view changes carrying prepared batches — are charged what they carry.
+  void broadcast(Payload payload);
+  void send_to(net::NodeId to, Payload payload);
   [[nodiscard]] double weight_of(ReplicaId r) const;
   [[nodiscard]] double vote_weight(
       const std::map<ReplicaId, double>& votes) const;
@@ -160,6 +182,8 @@ class Replica {
   void disarm_request_timer();
   void arm_viewchange_timer(View target);
   void disarm_viewchange_timer();
+  void arm_batch_timer();
+  void disarm_batch_timer();
 
   ReplicaId id_;
   std::vector<double> weights_;
@@ -181,6 +205,11 @@ class Replica {
   std::unordered_map<std::uint64_t, SeqNum> assigned_;  // primary only
   std::unordered_map<std::uint64_t, bool> executed_ids_;
 
+  /// Primary-side batching: requests accepted but not yet proposed, in
+  /// arrival order, plus their ids for O(1) duplicate suppression.
+  std::vector<Request> batch_queue_;
+  std::unordered_map<std::uint64_t, bool> queued_ids_;
+
   SeqNum stable_checkpoint_ = 0;
   SeqNum last_checkpoint_sent_ = 0;
   /// seq -> state digest -> voters (digest-keyed so a Byzantine replica
@@ -199,6 +228,7 @@ class Replica {
 
   std::optional<sim::EventId> request_timer_;
   std::optional<sim::EventId> viewchange_timer_;
+  std::optional<sim::EventId> batch_timer_;
   bool started_ = false;
 };
 

@@ -543,7 +543,11 @@ class OrderedJsonlCollector final : public ResultCollector {
   void collect(const SweepTask& task, RunRecord record) override {
     if (!record.ok()) any_error_ = true;
     TaskResult result;
-    result.family = tasks_[task.slot].spec.family;
+    // The *scenario's* rendered family, not the registry family the task
+    // named: the two can differ (bft_batching instantiates bft_scaling
+    // scenarios), and the merge must render exactly what the in-process
+    // sink would — that's the byte-identity contract.
+    result.family = task.scenario->family();
     result.scenario = task.scenario->name();
     result.sequence = tasks_[task.slot].spec.sequence;
     result.record = std::move(record);

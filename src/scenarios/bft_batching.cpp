@@ -1,0 +1,41 @@
+// The bft_batching family: the throughput side of request batching.
+//
+// It registers a second declarative slice over the *same* scenario class
+// as bft_scaling — batch size × committee size at a fixed offered block
+// of requests — so its instances are named by protocol configuration
+// alone ("bft_scaling/n=10 b=8 r=16"), not by family. That is deliberate:
+// a bft_batching instance dialed back to the bft_scaling defaults
+// (`--set batch_size=1 --set requests=5`) produces the *identical*
+// scenario, which is what lets CI `cmp` the two families' JSON to enforce
+// the no-batching-equals-today invariant on every push.
+//
+// The default grid is disjoint from bft_scaling's (batch_size ≥ 2 here,
+// exactly 1 there), so the full catalog never contains duplicate
+// instances and distributed-sweep merges stay overlap-free.
+#include <memory>
+
+#include "runtime/registry.h"
+#include "scenarios/bft_scaling.h"
+
+namespace findep::scenarios {
+namespace {
+
+const runtime::ScenarioRegistration kBftBatching{{
+    .name = "bft_batching",
+    .description = "PBFT request batching: protocol messages per committed "
+                   "request and throughput vs batch size x committee size",
+    .grids =
+        {
+            runtime::ParamGrid{{"batch_size", {2, 4, 8, 16}},
+                               {"n", {4, 10, 25}},
+                               {"requests", {16}},
+                               {"offered_load", {0.0}}},
+        },
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return BftScalingScenario::from_params(p, "honest");
+    },
+}};
+
+}  // namespace
+}  // namespace findep::scenarios

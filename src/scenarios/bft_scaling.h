@@ -5,10 +5,12 @@
 // so a whole sweep is reproducible from one --seed flag.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bft/cluster.h"
+#include "runtime/param.h"
 #include "runtime/scenario.h"
 
 namespace findep::scenarios {
@@ -20,10 +22,31 @@ class BftScalingScenario : public runtime::Scenario {
     /// May be shorter than n; missing entries are honest.
     std::vector<bft::Behavior> behaviors;
     int requests = 5;
+    /// Primary-side batching: requests agreed per consensus instance.
+    std::size_t batch_size = 1;
+    /// Seconds a partial batch may wait before the primary cuts it.
+    double batch_timeout = 0.05;
+    /// Client arrival rate in requests/second; 0 = all at t = 0.
+    double offered_load = 0.0;
     double deadline = 240.0;
     /// Optional display label ("silent primary"); default "n=<n>".
     std::string label;
   };
+
+  /// The shared label convention for grid-built instances: "n=<n>"
+  /// plus " <mix>" / " b=<batch>" / " r=<requests>" / " load=<rate>"
+  /// suffixes only for non-default values — so a bft_batching instance
+  /// dialed back to the defaults renders *byte-identically* to the
+  /// equivalent bft_scaling instance (the CI no-batching invariant).
+  [[nodiscard]] static std::string grid_label(std::size_t n,
+                                              const std::string& mix,
+                                              std::size_t batch_size,
+                                              int requests,
+                                              double offered_load);
+
+  /// Shared factory for the bft_scaling / bft_batching registrations.
+  [[nodiscard]] static std::unique_ptr<runtime::Scenario> from_params(
+      const runtime::ParamSet& p, const std::string& mix);
 
   explicit BftScalingScenario(Params params);
 
