@@ -2,15 +2,20 @@
 # Hard performance gate for CI (and local use).
 #
 # Runs the measured `micro` family and the deterministic `bft_batching`
-# family through findep-bench and compares against ci/micro_baseline.csv:
+# and `bft_churn` families through findep-bench and compares against
+# ci/micro_baseline.csv:
 #
 #   kind=time   rows (micro ns_per_op): FAIL when the measured mean
 #               exceeds baseline x tolerance (default 1.5x — shared
 #               runners are noisy, so time baselines carry headroom).
-#   kind=count  rows (bft_batching messages-per-request counters): FAIL
+#   kind=count  rows (bft_batching messages-per-request counters and
+#               bft_churn committed_requests / stranded_replicas): FAIL
 #               on anything but exact equality of the printed value —
 #               these are seed-derived protocol counts, so any drift is a
-#               real behaviour change, not noise.
+#               real behaviour change, not noise. The bft_churn
+#               stranded_replicas rows are the state-transfer invariant:
+#               0 with transfer enabled, the crashed count with it
+#               disabled (regression-pinned both ways).
 #
 # A baselined row that disappears from the current run also fails (a
 # renamed scenario must be rebaselined deliberately, not silently).
@@ -51,14 +56,20 @@ trap 'rm -rf "$tmp"' EXIT
 "$bench" --family micro --seeds 3 --csv --out "$tmp/micro.csv" > /dev/null
 "$bench" --family bft_batching --seeds 2 --csv --out "$tmp/batching.csv" \
   > /dev/null
+"$bench" --family bft_churn --seeds 1 --csv --out "$tmp/churn.csv" \
+  > /dev/null
 
 # scenario,metric,mean for every gated row of the current run.
 awk -F, 'FNR > 1 && $4 == "ns_per_op" {print $2 "," $4 "," $5}' \
   "$tmp/micro.csv" > "$tmp/current_time.csv"
-awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
-                     $4 == "msgs_per_committed_request") \
-         {print $2 "," $4 "," $5}' \
-  "$tmp/batching.csv" > "$tmp/current_count.csv"
+{
+  awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
+                       $4 == "msgs_per_committed_request") \
+           {print $2 "," $4 "," $5}' "$tmp/batching.csv"
+  awk -F, 'FNR > 1 && ($4 == "committed_requests" ||
+                       $4 == "stranded_replicas") \
+           {print $2 "," $4 "," $5}' "$tmp/churn.csv"
+} > "$tmp/current_count.csv"
 
 if [ "$update" = 1 ]; then
   {

@@ -48,6 +48,9 @@ void BftCluster::init(std::vector<double> weights,
   ReplicaOptions ropts = options_.replica;
   for (std::size_t i = 0; i < n; ++i) {
     ropts.behavior = behaviors_[i];
+    // Replica-local RNG (random peer choice in state transfer), derived
+    // per replica from the cluster seed so runs stay reproducible.
+    ropts.rng_seed = support::mix64(options_.seed ^ (0xb1f70000ULL + i));
     replicas_.push_back(std::make_unique<Replica>(
         static_cast<ReplicaId>(i), weights, directory, registry_, keys[i],
         *network_, ropts));
@@ -159,6 +162,41 @@ double BftCluster::last_completion_time() const {
     if (t.done()) latest = std::max(latest, t.executed_at);
   }
   return latest;
+}
+
+SeqNum BftCluster::max_honest_last_executed() const {
+  SeqNum max_seq = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (behaviors_[i] != Behavior::kHonest) continue;
+    max_seq = std::max(max_seq, replicas_[i]->last_executed());
+  }
+  return max_seq;
+}
+
+std::size_t BftCluster::stranded_replicas() const {
+  const SeqNum horizon = max_honest_last_executed();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (behaviors_[i] != Behavior::kHonest) continue;
+    if (replicas_[i]->last_executed() < horizon) ++count;
+  }
+  return count;
+}
+
+std::uint64_t BftCluster::state_transfers_completed() const {
+  std::uint64_t sum = 0;
+  for (const auto& replica : replicas_) {
+    sum += replica->state_transfers_completed();
+  }
+  return sum;
+}
+
+std::uint64_t BftCluster::state_transfer_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& replica : replicas_) {
+    sum += replica->state_transfer_bytes();
+  }
+  return sum;
 }
 
 double BftCluster::mean_latency() const {

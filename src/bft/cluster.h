@@ -85,6 +85,19 @@ class BftCluster {
   /// Simulated time of the last request completion (0 when none).
   [[nodiscard]] double last_completion_time() const;
 
+  /// Highest execution horizon over honest replicas.
+  [[nodiscard]] SeqNum max_honest_last_executed() const;
+
+  /// Honest replicas whose execution horizon trails the honest maximum —
+  /// the laggards state transfer exists to rescue (0 once converged).
+  [[nodiscard]] std::size_t stranded_replicas() const;
+
+  /// Completed state transfers summed over all replicas.
+  [[nodiscard]] std::uint64_t state_transfers_completed() const;
+
+  /// StateResponse wire bytes received, summed over all replicas.
+  [[nodiscard]] std::uint64_t state_transfer_bytes() const;
+
  private:
   void init(std::vector<double> weights, std::vector<Behavior> behaviors);
   void observe_executions();

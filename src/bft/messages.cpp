@@ -90,6 +90,34 @@ crypto::Digest NewView::digest() const {
   return h.finish();
 }
 
+crypto::Digest StateRequest::digest() const {
+  return crypto::Sha256{}
+      .update("findep/bft/staterequest/v1")
+      .update_u64(last_executed)
+      .finish();
+}
+
+crypto::Digest StateResponse::digest() const {
+  crypto::Sha256 h;
+  h.update("findep/bft/stateresponse/v1");
+  h.update_u64(request_from);
+  h.update(checkpoint.digest().bytes);
+  h.update_u64(proof.size());
+  for (const SignedCheckpoint& sc : proof) {
+    h.update_u64(sc.sender);
+    h.update(sc.checkpoint.digest().bytes);
+    h.update(sc.signature.tag.bytes);
+  }
+  h.update_u64(entries.size());
+  for (const ExecutedEntry& e : entries) {
+    h.update_u64(e.seq);
+    h.update(e.request.digest().bytes);
+  }
+  h.update_u64(new_view.has_value() ? 1 : 0);
+  if (new_view.has_value()) h.update(new_view->digest().bytes);
+  return h.finish();
+}
+
 crypto::Digest payload_digest(const Payload& payload) {
   return std::visit([](const auto& msg) { return msg.digest(); }, payload);
 }
@@ -118,6 +146,35 @@ std::uint64_t viewchange_wire_bytes(const ViewChange& vc) {
   }
   return bytes;
 }
+
+std::uint64_t newview_wire_bytes(const NewView& nv) {
+  // A new-view embeds its full view-change quorum plus the re-proposals
+  // derived from it.
+  std::uint64_t bytes = kNewViewBytes;
+  for (const SignedViewChange& s : nv.proofs) {
+    bytes += viewchange_wire_bytes(s.vc);
+  }
+  for (const PrePrepare& pp : nv.reproposals) {
+    bytes += kControlBytes + batch_body_bytes(pp.batch);
+  }
+  return bytes;
+}
+
+/// A replayed log entry inside a state response: (seq, request) frame
+/// plus the request body at the shared-header batch rate.
+constexpr std::uint64_t kStateEntryBytes = 16 + kBatchedRequestBytes;
+
+std::uint64_t stateresponse_wire_bytes(const StateResponse& resp) {
+  // Header, one signed checkpoint vote per proof entry, the committed
+  // log suffix, and the optional embedded NEW-VIEW at its own rate —
+  // state transfer is the most variable-length payload in the protocol,
+  // so it is charged for exactly what it carries.
+  std::uint64_t bytes = kControlBytes;
+  bytes += kControlBytes * resp.proof.size();
+  bytes += kStateEntryBytes * resp.entries.size();
+  if (resp.new_view.has_value()) bytes += newview_wire_bytes(*resp.new_view);
+  return bytes;
+}
 }  // namespace
 
 std::uint64_t payload_wire_bytes(const Payload& payload) {
@@ -131,18 +188,12 @@ std::uint64_t payload_wire_bytes(const Payload& payload) {
         } else if constexpr (std::is_same_v<T, ViewChange>) {
           return viewchange_wire_bytes(msg);
         } else if constexpr (std::is_same_v<T, NewView>) {
-          // A new-view embeds its full view-change quorum plus the
-          // re-proposals derived from it.
-          std::uint64_t bytes = kNewViewBytes;
-          for (const SignedViewChange& s : msg.proofs) {
-            bytes += viewchange_wire_bytes(s.vc);
-          }
-          for (const PrePrepare& pp : msg.reproposals) {
-            bytes += kControlBytes + batch_body_bytes(pp.batch);
-          }
-          return bytes;
+          return newview_wire_bytes(msg);
+        } else if constexpr (std::is_same_v<T, StateResponse>) {
+          return stateresponse_wire_bytes(msg);
         } else {
-          return kControlBytes;  // Prepare / Commit / Checkpoint
+          // Prepare / Commit / Checkpoint / StateRequest
+          return kControlBytes;
         }
       },
       payload);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <variant>
 #include <vector>
 
@@ -77,6 +78,25 @@ struct Checkpoint {
   [[nodiscard]] crypto::Digest digest() const;
 };
 
+/// A checkpoint vote together with its sender's signature. Replicas keep
+/// the signed votes of the quorum that made their checkpoint stable so a
+/// state-transfer response can *prove* the checkpoint to the requester
+/// (the requester re-verifies every vote, exactly like NEW-VIEW proofs).
+struct SignedCheckpoint {
+  ReplicaId sender = 0;
+  Checkpoint checkpoint;
+  crypto::Signature signature;
+};
+
+/// One executed log entry (what the state machine saw). Also the replay
+/// unit of state transfer: a response carries the responder's committed
+/// log suffix as ExecutedEntry records, one per request, each tagged with
+/// the slot (batch) seq it executed under.
+struct ExecutedEntry {
+  SeqNum seq = 0;
+  Request request;
+};
+
 /// A prepared certificate entry carried inside a view change: the replica
 /// prepared `batch` at (view, seq). View changes operate at batch
 /// granularity — a prepared batch survives into the new view whole, so
@@ -116,8 +136,39 @@ struct NewView {
   [[nodiscard]] crypto::Digest digest() const;
 };
 
+/// Checkpoint-anchored state transfer, request side: "I have executed up
+/// to `last_executed`; send me everything you can prove stable above it."
+struct StateRequest {
+  SeqNum last_executed = 0;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// State-transfer response. Everything in it is verifiable by the
+/// requester without trusting the responder:
+///   - `checkpoint` + `proof`: the responder's stable checkpoint with the
+///     signed vote quorum that made it stable;
+///   - `entries`: the committed log suffix in (`request_from`,
+///     `checkpoint.seq`], whose replay onto the requester's own log must
+///     reproduce `checkpoint.state_digest` (wrong or tampered entries are
+///     rejected wholesale and the requester retries elsewhere);
+///   - `new_view`: the NEW-VIEW the responder last installed, so a
+///     replica that also missed view changes during its outage can
+///     re-verify and adopt the current view (NEW-VIEW is self-certifying
+///     through its embedded view-change quorum).
+struct StateResponse {
+  SeqNum request_from = 0;
+  Checkpoint checkpoint;
+  std::vector<SignedCheckpoint> proof;
+  std::vector<ExecutedEntry> entries;
+  std::optional<NewView> new_view;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
 using Payload = std::variant<Request, PrePrepare, Prepare, Commit,
-                             Checkpoint, ViewChange, NewView>;
+                             Checkpoint, ViewChange, NewView, StateRequest,
+                             StateResponse>;
 
 /// Envelope: sender identity + signature over the payload digest.
 struct Envelope {

@@ -1,10 +1,25 @@
 #include "bft/replica.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <type_traits>
 #include <variant>
 
 #include "support/assert.h"
+
+/// Protocol event tracing for debugging stalled clusters: set
+/// FINDEP_BFT_TRACE=1 to log proposals, commits and view-change starts
+/// with timestamps. Purely observational — tracing never changes
+/// behaviour, so traced runs stay bit-identical to silent ones.
+#define FINDEP_BFT_TRACE(...)                                        \
+  do {                                                               \
+    static const bool findep_bft_trace_enabled =                     \
+        std::getenv("FINDEP_BFT_TRACE") != nullptr;                  \
+    if (findep_bft_trace_enabled) {                                  \
+      std::printf(__VA_ARGS__);                                      \
+    }                                                                \
+  } while (0)
 
 namespace findep::bft {
 
@@ -20,21 +35,33 @@ Replica::Replica(ReplicaId id, std::vector<double> weights,
       registry_(&registry),
       keys_(std::move(keys)),
       network_(&network),
-      options_(options) {
+      options_(options),
+      st_rng_(support::mix64(options.rng_seed)) {
   FINDEP_REQUIRE(id_ < weights_.size());
   FINDEP_REQUIRE(weights_.size() == directory_.size());
   FINDEP_REQUIRE(weights_.size() >= 4);  // tolerate at least one fault
   FINDEP_REQUIRE(options_.request_timeout > 0.0);
   FINDEP_REQUIRE(options_.view_change_timeout > 0.0);
-  FINDEP_REQUIRE(options_.checkpoint_interval > 0);
+  FINDEP_REQUIRE_MSG(options_.checkpoint_interval > 0,
+                     "checkpoint_interval must be >= 1: an interval of 0 "
+                     "would re-checkpoint on every execution and never "
+                     "bound the vote window");
   FINDEP_REQUIRE(options_.batch_size >= 1);
   FINDEP_REQUIRE(options_.batch_timeout > 0.0);
+  FINDEP_REQUIRE_MSG(
+      options_.batch_timeout < options_.request_timeout,
+      "batch_timeout must stay strictly below request_timeout: a partial "
+      "batch waiting out a slower batch timer lets the backups' request "
+      "timers fire first, costing a spurious view change per lull");
+  FINDEP_REQUIRE(options_.state_transfer_grace > 0.0);
+  FINDEP_REQUIRE(options_.state_transfer_timeout > 0.0);
   for (const double w : weights_) {
     FINDEP_REQUIRE(w > 0.0);
     total_weight_ += w;
   }
   FINDEP_REQUIRE_MSG(directory_[id_] == keys_.public_key(),
                      "key pair must match the directory entry");
+  peer_claims_.assign(weights_.size(), 0);
 }
 
 double Replica::weight_of(ReplicaId r) const {
@@ -108,11 +135,16 @@ void Replica::on_message(const net::Message& raw) {
           } else if constexpr (std::is_same_v<T, Commit>) {
             on_commit(m, env->sender);
           } else if constexpr (std::is_same_v<T, Checkpoint>) {
-            on_checkpoint(m, env->sender);
+            on_checkpoint(m, env->sender, env->signature);
           } else if constexpr (std::is_same_v<T, ViewChange>) {
             on_viewchange(m, env->sender, env->signature);
           } else if constexpr (std::is_same_v<T, NewView>) {
             on_newview(m, env->sender);
+          } else if constexpr (std::is_same_v<T, StateRequest>) {
+            on_state_request(m, env->sender);
+          } else if constexpr (std::is_same_v<T, StateResponse>) {
+            state_transfer_bytes_ += raw.bytes;
+            on_state_response(m, env->sender);
           }
         }
       },
@@ -199,6 +231,10 @@ void Replica::cut_batch() {
 void Replica::propose(Batch batch) {
   FINDEP_REQUIRE(is_primary());
   const SeqNum seq = next_seq_++;
+  FINDEP_BFT_TRACE("t=%.3f [%u] propose seq=%llu view=%llu size=%zu\n",
+                   network_->simulator().now(), id_,
+                   (unsigned long long)seq, (unsigned long long)view_,
+                   batch.size());
   for (const Request& r : batch.requests) {
     if (r.id != 0) assigned_[r.id] = seq;
   }
@@ -316,10 +352,15 @@ void Replica::maybe_committed(SeqNum seq) {
   if (votes == slot.commit_votes.end()) return;
   if (!is_quorum(vote_weight(votes->second))) return;
   slot.committed = true;
+  FINDEP_BFT_TRACE("t=%.3f [%u] committed seq=%llu view=%llu le=%llu\n",
+                   network_->simulator().now(), id_,
+                   (unsigned long long)seq, (unsigned long long)view_,
+                   (unsigned long long)last_executed_);
   execute_ready();
 }
 
 void Replica::execute_ready() {
+  const SeqNum before = last_executed_;
   for (;;) {
     const auto it = slots_.find(last_executed_ + 1);
     if (it == slots_.end() || !it->second.committed) break;
@@ -341,8 +382,36 @@ void Replica::execute_ready() {
   }
   if (pending_requests_.empty()) {
     disarm_request_timer();
+  } else if (last_executed_ != before) {
+    // Execution progress resets the liveness timer. The timer is armed
+    // when the pending set becomes non-empty and used to stay armed
+    // until the set fully drained — under sustained load the set never
+    // empties even though every individual request commits promptly, so
+    // the stale timer fired a spurious view change every
+    // request_timeout, cluster-wide. A view change is only warranted
+    // after request_timeout with *no* progress at all. (Trade-off,
+    // documented in DESIGN.md: a primary serving some requests while
+    // starving others indefinitely is not detected by this reset; the
+    // repo's workloads have no client-selective starvation.)
+    disarm_request_timer();
+    arm_request_timer();
   }
   maybe_checkpoint();
+}
+
+crypto::Digest Replica::state_digest_with(
+    const std::vector<ExecutedEntry>& extra) const {
+  crypto::Sha256 h;
+  h.update("findep/bft/state/v1");
+  for (const ExecutedEntry& e : executed_) {
+    h.update_u64(e.seq);
+    h.update(e.request.digest().bytes);
+  }
+  for (const ExecutedEntry& e : extra) {
+    h.update_u64(e.seq);
+    h.update(e.request.digest().bytes);
+  }
+  return h.finish();
 }
 
 void Replica::maybe_checkpoint() {
@@ -352,25 +421,53 @@ void Replica::maybe_checkpoint() {
   if (last_executed_ <= last_checkpoint_sent_) return;
   const SeqNum seq = last_executed_;
   last_checkpoint_sent_ = seq;
-  crypto::Sha256 h;
-  h.update("findep/bft/state/v1");
-  for (const ExecutedEntry& e : executed_) {
-    h.update_u64(e.seq);
-    h.update(e.request.digest().bytes);
-  }
-  broadcast(Checkpoint{seq, h.finish()});
+  broadcast(Checkpoint{seq, state_digest_with({})});
 }
 
-void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from) {
+void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from,
+                            const crypto::Signature& signature) {
+  // A signed checkpoint is also a claim about the sender's execution
+  // horizon; record it before any windowing so far-behind replicas can
+  // detect credible progress beyond their vote window (state transfer).
+  note_peer_claim(from, cp.seq);
   if (cp.seq <= stable_checkpoint_) return;
-  auto& votes = checkpoint_votes_[cp.seq][cp.state_digest];
-  votes[from] = weight_of(from);
-  if (!is_quorum(vote_weight(votes))) return;
+  // Watermark window: votes are only *tracked* within a bounded range
+  // above the stable checkpoint (allowing for our own in-flight
+  // execution horizon, which can legitimately run ahead of stability).
+  // Anything beyond is dropped — a Byzantine peer advertising arbitrary
+  // far-future seqs cannot bloat the vote map; genuinely missed
+  // checkpoints are recovered through state transfer, not votes.
+  const SeqNum window_top = std::max(stable_checkpoint_, last_executed_) +
+                            2 * options_.checkpoint_interval;
+  if (cp.seq > window_top) return;
+  auto& by_digest = checkpoint_votes_[cp.seq];
+  // One vote per sender per seq (first wins): bounds the per-seq digest
+  // fan-out an equivocating voter could otherwise create.
+  for (const auto& [digest, votes] : by_digest) {
+    if (votes.contains(from)) return;
+  }
+  auto& votes = by_digest[cp.state_digest];
+  votes[from] = SignedCheckpoint{from, cp, signature};
+  double weight = 0.0;
+  for (const auto& [voter, vote] : votes) weight += weight_of(voter);
+  if (!is_quorum(weight)) return;
+
   stable_checkpoint_ = cp.seq;
+  stable_checkpoint_digest_ = cp.state_digest;
+  stable_checkpoint_proof_.clear();
+  stable_checkpoint_proof_.reserve(votes.size());
+  for (const auto& [voter, vote] : votes) {
+    stable_checkpoint_proof_.push_back(vote);
+  }
+  // Adopting a remote stable checkpoint retires any pending own
+  // checkpoint at or below it: re-broadcasting a stale own checkpoint
+  // for an already-stable seq would only feed dead vote rounds (two
+  // simultaneous laggards could otherwise stall the next quorum).
+  last_checkpoint_sent_ = std::max(last_checkpoint_sent_, stable_checkpoint_);
   // Prune consensus state at and below the stable checkpoint — but never
   // above our own execution horizon: a replica that lags behind a remote
-  // checkpoint keeps its in-flight slots, otherwise it strands itself
-  // (there is no state transfer) and thrashes hopeless view changes.
+  // checkpoint keeps its in-flight slots and can still finish them from
+  // live traffic while a state transfer is pending.
   const SeqNum prune_to = std::min(stable_checkpoint_, last_executed_);
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= prune_to ? slots_.erase(it) : std::next(it);
@@ -379,6 +476,7 @@ void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from) {
     it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
                                          : std::next(it);
   }
+  if (stable_checkpoint_ > last_executed_) maybe_schedule_state_fetch();
 }
 
 // --- timers ----------------------------------------------------------------
@@ -446,6 +544,11 @@ void Replica::start_view_change(View target) {
   in_view_change_ = true;
   pending_view_ = target;
   ++view_changes_started_;
+  FINDEP_BFT_TRACE("t=%.3f [%u] start_vc target=%llu le=%llu pending=%zu\n",
+                   network_->simulator().now(), id_,
+                   (unsigned long long)target,
+                   (unsigned long long)last_executed_,
+                   pending_requests_.size());
   disarm_request_timer();
   disarm_batch_timer();
 
@@ -464,6 +567,9 @@ void Replica::start_view_change(View target) {
 
 void Replica::on_viewchange(const ViewChange& vc, ReplicaId from,
                             const crypto::Signature& signature) {
+  // A view change states the sender's stable checkpoint — a signed claim
+  // usable as state-transfer evidence.
+  note_peer_claim(from, vc.last_executed);
   if (vc.new_view <= view_) return;
   auto& votes = viewchange_votes_[vc.new_view];
   const bool already =
@@ -537,37 +643,41 @@ void Replica::maybe_assemble_new_view(View target) {
   broadcast(nv);
 }
 
-void Replica::on_newview(const NewView& nv, ReplicaId from) {
-  if (nv.view <= view_) return;
-  if (from != primary_of(nv.view)) return;
-
+bool Replica::verify_new_view(const NewView& nv) const {
   // Verify the view-change quorum: distinct senders, valid signatures,
   // matching target view, quorum weight.
   double weight = 0.0;
   std::vector<bool> seen(weights_.size(), false);
   for (const SignedViewChange& s : nv.proofs) {
-    if (s.sender >= weights_.size() || seen[s.sender]) return;
-    if (s.vc.new_view != nv.view) return;
+    if (s.sender >= weights_.size() || seen[s.sender]) return false;
+    if (s.vc.new_view != nv.view) return false;
     if (!registry_->verify(directory_[s.sender], s.vc.digest(),
                            s.signature)) {
-      return;
+      return false;
     }
     seen[s.sender] = true;
     weight += weight_of(s.sender);
   }
-  if (!is_quorum(weight)) return;
+  if (!is_quorum(weight)) return false;
 
   // Recompute the re-proposals; a lying primary is rejected here.
   const std::vector<PrePrepare> expected =
       compute_reproposals(nv.view, nv.proofs);
-  if (expected.size() != nv.reproposals.size()) return;
+  if (expected.size() != nv.reproposals.size()) return false;
   for (std::size_t i = 0; i < expected.size(); ++i) {
     if (expected[i].view != nv.reproposals[i].view ||
         expected[i].seq != nv.reproposals[i].seq ||
         !(expected[i].batch == nv.reproposals[i].batch)) {
-      return;
+      return false;
     }
   }
+  return true;
+}
+
+void Replica::on_newview(const NewView& nv, ReplicaId from) {
+  if (nv.view <= view_) return;
+  if (from != primary_of(nv.view)) return;
+  if (!verify_new_view(nv)) return;
   install_new_view(nv);
 }
 
@@ -575,9 +685,16 @@ void Replica::install_new_view(const NewView& nv) {
   view_ = nv.view;
   in_view_change_ = false;
   pending_view_ = nv.view;
+  last_new_view_ = nv;
   disarm_viewchange_timer();
   viewchange_votes_.erase(viewchange_votes_.begin(),
                           viewchange_votes_.upper_bound(nv.view));
+  // The proofs are signed claims of their senders' stable checkpoints;
+  // if a quorum certifies state above our horizon, we missed committed
+  // traffic and should fetch rather than wait for the next checkpoint.
+  for (const SignedViewChange& s : nv.proofs) {
+    note_peer_claim(s.sender, s.vc.last_executed);
+  }
 
   // Reset consensus state for unexecuted sequence numbers: votes from
   // earlier views are void in the new view.
@@ -616,6 +733,219 @@ void Replica::install_new_view(const NewView& nv) {
     }
   }
   arm_request_timer();
+  maybe_schedule_state_fetch();
+}
+
+// --- state transfer --------------------------------------------------------
+
+void Replica::note_peer_claim(ReplicaId from, SeqNum seq) {
+  if (from >= peer_claims_.size() || from == id_) return;
+  if (seq <= peer_claims_[from]) return;
+  peer_claims_[from] = seq;
+  // A raised claim may tip the > 1/3 evidence threshold — this is the
+  // only trigger a laggard whose vote window the cluster ran past ever
+  // sees, so the fetch machine must watch claims directly.
+  maybe_schedule_state_fetch();
+}
+
+SeqNum Replica::claims_catchup_target() const {
+  // Highest seq S with > 1/3 of voting power claiming >= S beyond our
+  // horizon: walk claims in descending order accumulating weight. The
+  // 1/3 bound guarantees at least one *honest* claimant holds a provable
+  // stable checkpoint at S — Byzantine peers alone (< 1/3) cannot
+  // fabricate a target, and an inflated single claim is skipped over
+  // until honest weight joins the count.
+  std::vector<std::pair<SeqNum, double>> claims;
+  for (ReplicaId r = 0; r < peer_claims_.size(); ++r) {
+    if (r == id_) continue;
+    if (peer_claims_[r] > last_executed_) {
+      claims.emplace_back(peer_claims_[r], weight_of(r));
+    }
+  }
+  std::sort(claims.begin(), claims.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  double weight = 0.0;
+  for (const auto& [seq, w] : claims) {
+    weight += w;
+    if (is_third(weight)) return seq;
+  }
+  return 0;
+}
+
+void Replica::maybe_schedule_state_fetch() {
+  if (!options_.enable_state_transfer) return;
+  if (state_fetch_timer_.has_value()) return;  // already scheduled/awaiting
+  if (claims_catchup_target() == 0) return;
+  // Grace period: in-flight slots usually commit from live traffic
+  // within a round trip; fetch only if the gap persists.
+  state_fetch_timer_ = network_->simulator().schedule_after(
+      options_.state_transfer_grace, [this] {
+        state_fetch_timer_.reset();
+        state_fetch_tick();
+      });
+}
+
+void Replica::state_fetch_tick() {
+  const SeqNum target = claims_catchup_target();
+  if (target == 0) {
+    // Caught up (live traffic or an earlier transfer closed the gap).
+    last_fetch_peer_.reset();
+    return;
+  }
+  // Candidates: every peer whose signed claim reaches the target. Avoid
+  // re-asking the peer that just failed or timed out when there is a
+  // choice ("retry elsewhere").
+  std::vector<ReplicaId> candidates;
+  for (ReplicaId r = 0; r < peer_claims_.size(); ++r) {
+    if (r == id_ || peer_claims_[r] < target) continue;
+    candidates.push_back(r);
+  }
+  if (candidates.empty()) return;
+  if (candidates.size() > 1 && last_fetch_peer_.has_value()) {
+    std::erase(candidates, *last_fetch_peer_);
+  }
+  const ReplicaId peer =
+      candidates[st_rng_.below(candidates.size())];
+  last_fetch_peer_ = peer;
+  ++state_transfer_requests_;
+  send_to(peer, StateRequest{last_executed_});
+  state_fetch_timer_ = network_->simulator().schedule_after(
+      options_.state_transfer_timeout, [this] {
+        state_fetch_timer_.reset();
+        state_fetch_tick();
+      });
+}
+
+void Replica::disarm_state_fetch_timer() {
+  if (state_fetch_timer_.has_value()) {
+    network_->simulator().cancel(*state_fetch_timer_);
+    state_fetch_timer_.reset();
+  }
+}
+
+void Replica::on_state_request(const StateRequest& sr, ReplicaId from) {
+  if (stable_checkpoint_ == 0 || stable_checkpoint_proof_.empty()) return;
+  if (sr.last_executed >= stable_checkpoint_) return;  // nothing to prove
+  // A replica that adopted a remote stable checkpoint it has not itself
+  // executed up to cannot substantiate the digest — decline instead of
+  // sending a response the requester would provably reject.
+  if (last_executed_ < stable_checkpoint_) return;
+  StateResponse resp;
+  resp.request_from = sr.last_executed;
+  resp.checkpoint = Checkpoint{stable_checkpoint_, stable_checkpoint_digest_};
+  resp.proof = stable_checkpoint_proof_;
+  for (const ExecutedEntry& e : executed_) {
+    if (e.seq > sr.last_executed && e.seq <= stable_checkpoint_) {
+      resp.entries.push_back(e);
+    }
+  }
+  resp.new_view = last_new_view_;
+  send_to(from, std::move(resp));
+}
+
+void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
+  if (!options_.enable_state_transfer) return;
+  if (resp.checkpoint.seq <= last_executed_) return;  // stale/no-op
+
+  const auto reject = [&] {
+    ++state_transfers_rejected_;
+    if (state_fetch_timer_.has_value()) {
+      // Retry elsewhere immediately instead of waiting out the timer;
+      // last_fetch_peer_ steers the pick away from this responder.
+      disarm_state_fetch_timer();
+      last_fetch_peer_ = from;
+      state_fetch_tick();
+    }
+  };
+
+  // 1. The checkpoint must be proven by a quorum of verifiable votes.
+  double weight = 0.0;
+  std::vector<bool> seen(weights_.size(), false);
+  for (const SignedCheckpoint& sc : resp.proof) {
+    if (sc.sender >= weights_.size() || seen[sc.sender]) return reject();
+    if (sc.checkpoint.seq != resp.checkpoint.seq ||
+        sc.checkpoint.state_digest != resp.checkpoint.state_digest) {
+      return reject();
+    }
+    if (!registry_->verify(directory_[sc.sender], sc.checkpoint.digest(),
+                           sc.signature)) {
+      return reject();
+    }
+    seen[sc.sender] = true;
+    weight += weight_of(sc.sender);
+  }
+  if (!is_quorum(weight)) return reject();
+
+  // 2. The entries must splice onto our own log — in range, seq-ordered —
+  //    and reproduce the proven state digest exactly. Entries below our
+  //    horizon are skipped (we may have executed further since asking);
+  //    honest logs are prefix-consistent, so the remainder is precisely
+  //    the suffix our log is missing, and the digest is the arbiter.
+  std::vector<ExecutedEntry> suffix;
+  suffix.reserve(resp.entries.size());
+  SeqNum prev = last_executed_;
+  for (const ExecutedEntry& e : resp.entries) {
+    if (e.seq <= last_executed_) continue;
+    if (e.seq < prev || e.seq > resp.checkpoint.seq) return reject();
+    prev = e.seq;
+    suffix.push_back(e);
+  }
+  if (state_digest_with(suffix) != resp.checkpoint.state_digest) {
+    return reject();
+  }
+
+  // 3. Adopt: replay the suffix, advance the horizon to the checkpoint,
+  //    take over the proof so we can serve transfers ourselves.
+  for (const ExecutedEntry& e : suffix) {
+    if (e.request.id != 0) {
+      executed_ids_[e.request.id] = true;
+      pending_requests_.erase(e.request.id);
+    }
+    executed_.push_back(e);
+  }
+  last_executed_ = resp.checkpoint.seq;
+  ++state_transfers_completed_;
+  if (resp.checkpoint.seq >= stable_checkpoint_) {
+    stable_checkpoint_ = resp.checkpoint.seq;
+    stable_checkpoint_digest_ = resp.checkpoint.state_digest;
+    stable_checkpoint_proof_ = resp.proof;
+  }
+  last_checkpoint_sent_ = std::max(last_checkpoint_sent_, stable_checkpoint_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->first <= last_executed_ ? slots_.erase(it) : std::next(it);
+  }
+  for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
+    it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
+                                         : std::next(it);
+  }
+  disarm_state_fetch_timer();
+  last_fetch_peer_.reset();
+
+  if (resp.new_view.has_value() && resp.new_view->view > view_ &&
+      verify_new_view(*resp.new_view)) {
+    // We also missed a view change during the outage: the relayed
+    // NEW-VIEW is self-certifying, so adopt the cluster's view (this
+    // replays buffered future-view traffic and re-drives pending
+    // requests).
+    install_new_view(*resp.new_view);
+  } else {
+    if (in_view_change_) {
+      // Our view change was a lone timeout caused by our own lag — the
+      // proven checkpoint shows the cluster committing without us, in a
+      // view we now share. Abandon it and rejoin the normal case; if we
+      // are still starved the request timer below re-escalates.
+      in_view_change_ = false;
+      pending_view_ = view_;
+      disarm_viewchange_timer();
+    }
+    disarm_request_timer();  // the adoption itself is execution progress
+    execute_ready();
+    replay_future_messages();
+    if (!pending_requests_.empty()) arm_request_timer();
+  }
+  // Still behind a credible horizon (e.g. the responder itself lagged)?
+  // Go again.
+  maybe_schedule_state_fetch();
 }
 
 }  // namespace findep::bft

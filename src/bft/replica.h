@@ -15,10 +15,15 @@
 //   kEquivocate — as primary, proposes conflicting requests for the same
 //                 sequence number to different halves of the cluster.
 //
-// Known simplification (documented in DESIGN.md): there is no state
-// transfer; a replica that falls behind a *stable checkpoint* (possible
-// only for < 1/3 of weight) stays behind until the next checkpoint. The
-// experiments never rely on such replicas.
+// Checkpoint-anchored state transfer (DESIGN.md "State transfer"): a
+// replica that observes credible evidence of committed state above its
+// own execution horizon — a stable-checkpoint quorum it adopted, or
+// > 1/3 of voting power claiming checkpoints it has not executed —
+// fetches the missing log suffix from a random up-to-date peer, verifies
+// the checkpoint digest against the signed vote quorum carried in the
+// response, and resumes normal execution. This is what un-strands
+// laggards after long outages (churn experiments with < 1/3 of weight
+// offline for many checkpoint intervals).
 #pragma once
 
 #include <map>
@@ -29,6 +34,7 @@
 #include "bft/messages.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "support/rng.h"
 
 namespace findep::bft {
 
@@ -51,20 +57,26 @@ struct ReplicaOptions {
   /// seconds after the first queued request — whichever comes first.
   /// batch_size = 1 cuts on every request immediately and never arms the
   /// timer, which is behaviourally identical to the unbatched protocol.
-  /// Keep batch_timeout well below request_timeout unless batches always
-  /// fill by size: a lone request waiting out a slower batch timer lets
-  /// the backups' request timers fire first, costing a spurious view
-  /// change (the new primary flushes the partial batch on install, so it
-  /// recovers — but each light-load lull pays one view change).
+  /// batch_timeout must stay strictly below request_timeout — a lone
+  /// request waiting out a slower batch timer lets the backups' request
+  /// timers fire first, costing a spurious view change per light-load
+  /// lull. The constructor rejects the misconfiguration outright.
   std::size_t batch_size = 1;
   double batch_timeout = 0.05;
+  /// Checkpoint-anchored state transfer (off only for regression sweeps
+  /// that need the historical stranding behaviour).
+  bool enable_state_transfer = true;
+  /// Grace before the first fetch once lag is observed: in-flight slots
+  /// usually commit from live traffic within a round trip, so a fetch is
+  /// only worth its bytes when the gap persists.
+  double state_transfer_grace = 0.2;
+  /// Patience per fetch attempt before retrying another random peer.
+  double state_transfer_timeout = 1.0;
+  /// Seed of the replica-local RNG (random peer choice during state
+  /// transfer). The cluster harness derives one per replica from the
+  /// cluster seed.
+  std::uint64_t rng_seed = 0x5eedb1f7;
   Behavior behavior = Behavior::kHonest;
-};
-
-/// One executed log entry (what the state machine saw).
-struct ExecutedEntry {
-  SeqNum seq = 0;
-  Request request;
 };
 
 class Replica {
@@ -104,6 +116,29 @@ class Replica {
   [[nodiscard]] std::uint64_t view_changes_started() const noexcept {
     return view_changes_started_;
   }
+  /// State digest of this replica's stable checkpoint (meaningful only
+  /// when stable_checkpoint() > 0).
+  [[nodiscard]] const crypto::Digest& stable_checkpoint_digest()
+      const noexcept {
+    return stable_checkpoint_digest_;
+  }
+  /// Completed (verified + adopted) state transfers.
+  [[nodiscard]] std::uint64_t state_transfers_completed() const noexcept {
+    return state_transfers_completed_;
+  }
+  /// State responses rejected for a bad proof, bad entries or a state
+  /// digest mismatch (each followed by a retry at another peer).
+  [[nodiscard]] std::uint64_t state_transfers_rejected() const noexcept {
+    return state_transfers_rejected_;
+  }
+  /// StateRequest messages sent (first attempts and retries).
+  [[nodiscard]] std::uint64_t state_transfer_requests() const noexcept {
+    return state_transfer_requests_;
+  }
+  /// Wire bytes of every StateResponse received (adopted or rejected).
+  [[nodiscard]] std::uint64_t state_transfer_bytes() const noexcept {
+    return state_transfer_bytes_;
+  }
 
   [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
     return static_cast<ReplicaId>(v % weights_.size());
@@ -140,10 +175,13 @@ class Replica {
   void on_preprepare(const PrePrepare& pp, ReplicaId from);
   void on_prepare(const Prepare& p, ReplicaId from);
   void on_commit(const Commit& c, ReplicaId from);
-  void on_checkpoint(const Checkpoint& cp, ReplicaId from);
+  void on_checkpoint(const Checkpoint& cp, ReplicaId from,
+                     const crypto::Signature& signature);
   void on_viewchange(const ViewChange& vc, ReplicaId from,
                      const crypto::Signature& signature);
   void on_newview(const NewView& nv, ReplicaId from);
+  void on_state_request(const StateRequest& sr, ReplicaId from);
+  void on_state_response(const StateResponse& resp, ReplicaId from);
 
   // --- normal case --------------------------------------------------------
   void enqueue_for_proposal(const Request& request);
@@ -161,7 +199,33 @@ class Replica {
   void maybe_assemble_new_view(View target);
   [[nodiscard]] static std::vector<PrePrepare> compute_reproposals(
       View target, const std::vector<SignedViewChange>& proofs);
+  /// Verifies a NEW-VIEW's embedded view-change quorum and recomputed
+  /// re-proposals (shared by on_newview and state-transfer adoption —
+  /// NEW-VIEW is self-certifying, so it can be relayed).
+  [[nodiscard]] bool verify_new_view(const NewView& nv) const;
   void install_new_view(const NewView& nv);
+
+  // --- state transfer -------------------------------------------------
+  /// Records a peer's signed claim of a stable/executed seq (checkpoint
+  /// votes, view-change stable fields, new-view proofs). One cell per
+  /// replica, so Byzantine peers cannot bloat it.
+  void note_peer_claim(ReplicaId from, SeqNum seq);
+  /// The highest seq claimed at-or-above by > 1/3 of voting power beyond
+  /// our execution horizon — at least one *honest* replica can prove a
+  /// stable checkpoint there. 0 when we are not credibly behind.
+  [[nodiscard]] SeqNum claims_catchup_target() const;
+  /// Arms the grace timer when we are credibly behind and no fetch is in
+  /// flight.
+  void maybe_schedule_state_fetch();
+  /// One fetch attempt: re-check the target, pick a random up-to-date
+  /// peer (avoiding the previous one when possible), send StateRequest,
+  /// re-arm the retry timer.
+  void state_fetch_tick();
+  void disarm_state_fetch_timer();
+  /// State digest of this log extended by `extra` (what maybe_checkpoint
+  /// hashes, and what a state response's entries must reproduce).
+  [[nodiscard]] crypto::Digest state_digest_with(
+      const std::vector<ExecutedEntry>& extra) const;
 
   // --- helpers ------------------------------------------------------------
   // Byte accounting is derived from the payload itself
@@ -211,15 +275,40 @@ class Replica {
   std::unordered_map<std::uint64_t, bool> queued_ids_;
 
   SeqNum stable_checkpoint_ = 0;
+  crypto::Digest stable_checkpoint_digest_;
+  /// The signed vote quorum that made stable_checkpoint_ stable — what a
+  /// StateResponse hands a requester as proof.
+  std::vector<SignedCheckpoint> stable_checkpoint_proof_;
   SeqNum last_checkpoint_sent_ = 0;
   /// seq -> state digest -> voters (digest-keyed so a Byzantine replica
   /// cannot contribute to a checkpoint it does not actually hold).
-  std::map<SeqNum, std::map<crypto::Digest, std::map<ReplicaId, double>>>
+  /// Bounded two ways: seqs outside the watermark window above the
+  /// stable checkpoint are rejected, and each sender gets one vote per
+  /// seq — so Byzantine peers cannot bloat the map with far-future seqs
+  /// or per-seq digest spam.
+  std::map<SeqNum,
+           std::map<crypto::Digest, std::map<ReplicaId, SignedCheckpoint>>>
       checkpoint_votes_;
+  /// Highest checkpoint/stable seq each peer has credibly (signed)
+  /// claimed; fixed size n. Feeds claims_catchup_target().
+  std::vector<SeqNum> peer_claims_;
 
   std::map<View, std::vector<SignedViewChange>> viewchange_votes_;
   View newview_assembled_for_ = 0;
   std::uint64_t view_changes_started_ = 0;
+  /// The NEW-VIEW we last installed, relayed inside state responses so a
+  /// requester that missed the view change can re-verify and adopt it.
+  std::optional<NewView> last_new_view_;
+
+  /// State-transfer fetch machine: the timer doubles as the state (armed
+  /// = a fetch is scheduled or awaiting a response).
+  std::optional<sim::EventId> state_fetch_timer_;
+  std::optional<ReplicaId> last_fetch_peer_;
+  support::Rng st_rng_;
+  std::uint64_t state_transfers_completed_ = 0;
+  std::uint64_t state_transfers_rejected_ = 0;
+  std::uint64_t state_transfer_requests_ = 0;
+  std::uint64_t state_transfer_bytes_ = 0;
 
   /// Normal-case messages that arrived for a view we have not installed
   /// yet (we lag behind a view change); replayed after installation.

@@ -1,0 +1,148 @@
+#include "scenarios/bft_churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "bft/cluster.h"
+#include "runtime/registry.h"
+#include "support/assert.h"
+
+namespace findep::scenarios {
+
+BftChurnScenario::BftChurnScenario(Params params)
+    : params_(std::move(params)) {
+  FINDEP_REQUIRE(params_.n >= 4);
+  FINDEP_REQUIRE(params_.crash_fraction >= 0.0 &&
+                 params_.crash_fraction < 1.0 / 3.0 + 1e-9);
+  FINDEP_REQUIRE(params_.outage_s > 0.0);
+  FINDEP_REQUIRE(params_.batch_size >= 1);
+  FINDEP_REQUIRE(params_.checkpoint_interval >= 1);
+  FINDEP_REQUIRE(params_.offered_load > 0.0);
+  if (params_.label.empty()) params_.label = grid_label(params_);
+}
+
+std::string BftChurnScenario::grid_label(const Params& p) {
+  std::string label = "n=" + std::to_string(p.n);
+  label += " c=" + runtime::ParamValue(p.crash_fraction).to_string();
+  label += " o=" + runtime::ParamValue(p.outage_s).to_string();
+  label += " b=" + std::to_string(p.batch_size);
+  if (!p.state_transfer) label += " nost";
+  return label;
+}
+
+std::string BftChurnScenario::name() const {
+  return "bft_churn/" + params_.label;
+}
+
+runtime::MetricRecord BftChurnScenario::run(
+    const runtime::RunContext& ctx) const {
+  bft::ClusterOptions options;
+  options.seed = ctx.seed;
+  // Fast-LAN profile (the same one the BFT test suite uses): the subject
+  // here is churn recovery, not overload — the sustained offered load
+  // must commit comfortably inside request_timeout, or spurious view
+  // changes (a known fragility under backlog) drown the signal.
+  options.network.min_latency = 0.005;
+  options.network.mean_extra_latency = 0.01;
+  options.replica.batch_size = params_.batch_size;
+  options.replica.checkpoint_interval = params_.checkpoint_interval;
+  options.replica.enable_state_transfer = params_.state_transfer;
+  bft::BftCluster cluster(params_.n, options);
+
+  // Open-loop load sustained from t = 0 until tail_s past the heal, so
+  // the live quorum advances checkpoints *during* the outage (that is
+  // what strands the crashed slice) and keeps advancing them after it
+  // (that is what lets the laggards detect and fetch the missing state).
+  const double heal_at = params_.outage_start + params_.outage_s;
+  const double submit_until = heal_at + params_.tail_s;
+  const auto requests = static_cast<std::size_t>(
+      std::floor(submit_until * params_.offered_load)) + 1;
+  for (std::size_t i = 0; i < requests; ++i) {
+    cluster.simulator().schedule_at(
+        static_cast<double>(i) / params_.offered_load,
+        [&cluster] { (void)cluster.submit(); });
+  }
+
+  // The outage: the highest-id floor(n * crash_fraction) replicas drop
+  // off the network entirely (each in its own partition group — a crash,
+  // not a netsplit among survivors), then everyone heals at once.
+  const auto crashed = static_cast<std::size_t>(
+      static_cast<double>(params_.n) * params_.crash_fraction);
+  cluster.simulator().schedule_at(params_.outage_start, [&cluster, this,
+                                                         crashed] {
+    for (std::size_t k = 0; k < crashed; ++k) {
+      const auto node = static_cast<net::NodeId>(params_.n - 1 - k);
+      cluster.network().set_partition_group(node,
+                                            static_cast<std::uint32_t>(1 + k));
+    }
+  });
+  cluster.simulator().schedule_at(heal_at,
+                                  [&cluster] { cluster.network().heal_partitions(); });
+
+  // Drive in slices, watching for full convergence: every request
+  // executed and every replica at the same execution horizon. The slice
+  // width quantizes recovery_time_s but keeps it deterministic.
+  constexpr double kSlice = 0.25;
+  double recovered_at = -1.0;
+  while (cluster.simulator().now() < params_.deadline) {
+    cluster.run_for(kSlice);
+    if (cluster.simulator().now() > heal_at &&
+        cluster.completed_requests() == requests &&
+        cluster.stranded_replicas() == 0) {
+      recovered_at = cluster.simulator().now();
+      break;
+    }
+    if (!cluster.simulator().has_pending()) break;
+  }
+
+  std::uint64_t view_changes = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    view_changes = std::max(view_changes,
+                            cluster.replica(i).view_changes_started());
+  }
+
+  runtime::MetricRecord metrics;
+  metrics.set("committed_requests",
+              static_cast<double>(cluster.completed_requests()));
+  metrics.set("stranded_replicas",
+              static_cast<double>(cluster.stranded_replicas()));
+  metrics.set("recovery_time_s",
+              recovered_at < 0.0 ? -1.0 : recovered_at - heal_at);
+  metrics.set("state_transfers",
+              static_cast<double>(cluster.state_transfers_completed()));
+  metrics.set("state_transfer_bytes",
+              static_cast<double>(cluster.state_transfer_bytes()));
+  metrics.set("max_view_changes", static_cast<double>(view_changes));
+  return metrics;
+}
+
+namespace {
+
+const runtime::ScenarioRegistration kBftChurn{{
+    .name = "bft_churn",
+    .description = "PBFT churn: crash just-under-1/3 through a multi-"
+                   "checkpoint outage, heal, measure state-transfer "
+                   "recovery (stranded_replicas must be 0)",
+    .grids =
+        {
+            runtime::ParamGrid{{"n", {4, 10}},
+                               {"crash", {0.3}},
+                               {"outage", {6.0}},
+                               {"batch_size", {1, 4}},
+                               {"state_transfer", {1, 0}}},
+        },
+    .factory =
+        [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      return std::make_unique<BftChurnScenario>(BftChurnScenario::Params{
+          .n = p.get_size("n"),
+          .crash_fraction = p.get_double("crash"),
+          .outage_s = p.get_double("outage"),
+          .batch_size = p.get_size("batch_size"),
+          .state_transfer = p.get_int("state_transfer") != 0});
+    },
+}};
+
+}  // namespace
+
+}  // namespace findep::scenarios

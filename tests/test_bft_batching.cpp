@@ -77,8 +77,12 @@ TEST(BftBatch, WireBytesScaleWithBatchAndPreparedEntries) {
 TEST(BftBatch, FullBatchesCommitAndUnrollPerRequest) {
   ClusterOptions opt = fast_options(41);
   opt.replica.batch_size = 4;
-  // Cut on size only: 8 requests = exactly two full batches.
+  // Cut on size only: 8 requests = exactly two full batches. The batch
+  // timer must stay below request_timeout (enforced at construction), so
+  // the timeout-free regime is modeled with a slow timer under a slower
+  // request timer.
   opt.replica.batch_timeout = 5.0;
+  opt.replica.request_timeout = 8.0;
   BftCluster cluster(4, opt);
   for (int i = 0; i < 8; ++i) cluster.submit();
   EXPECT_TRUE(cluster.run_until_executed(8, 60.0));
@@ -141,9 +145,12 @@ TEST(BftBatch, BatchSizeEightAmortizesFourfold) {
     params.n = 10;
     params.requests = 16;
     params.batch_size = batch_size;
-    // Cut on size only (16 = 2 full batches of 8): keeps the batch
-    // count, and therefore this assertion, deterministic.
-    params.batch_timeout = 10.0;
+    // Cut by size, not timer (16 = 2 full batches of 8): all requests
+    // arrive within ~50 ms of t = 0, far under this timer, so the batch
+    // count — and therefore this assertion — stays deterministic. (The
+    // timer must also stay below the 1 s request_timeout, enforced at
+    // construction.)
+    params.batch_timeout = 0.9;
     const BftScalingScenario scenario(params);
     return scenario.run(runtime::RunContext{.seed = 77, .run_index = 0});
   };
@@ -170,6 +177,7 @@ TEST(BftBatch, SameRequestsCommittedAcrossBatchSizes) {
     ClusterOptions opt = fast_options(44);
     opt.replica.batch_size = batch_size;
     opt.replica.batch_timeout = 5.0;
+    opt.replica.request_timeout = 8.0;
     BftCluster cluster(4, opt);
     for (int i = 0; i < 12; ++i) cluster.submit();
     EXPECT_TRUE(cluster.run_until_executed(12, 60.0));
