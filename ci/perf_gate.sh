@@ -21,7 +21,15 @@
 # renamed scenario must be rebaselined deliberately, not silently).
 #
 # usage: ci/perf_gate.sh [--update-baseline] [--tolerance X]
-#                        [--baseline FILE] path/to/findep-bench
+#                        [--baseline FILE] [--only SUBSTR]
+#                        path/to/findep-bench
+#
+# --only SUBSTR gates only baselined rows whose scenario name contains
+# SUBSTR (e.g. --only sim_ for the event-engine rows, --only bft_churn
+# for one family) and skips benchmarking families with no matching rows
+# — the local iterate-on-one-row loop drops from minutes to seconds.
+# Incompatible with --update-baseline (a partial rewrite would silently
+# drop every other row).
 #
 # --update-baseline rewrites the baseline from the current run. Count
 # rows are safe to take verbatim (deterministic); REVIEW the time rows
@@ -33,17 +41,23 @@ script_dir=$(dirname "$0")
 baseline="$script_dir/micro_baseline.csv"
 tolerance=1.5
 update=0
+only=""
 bench=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --update-baseline) update=1 ;;
     --tolerance) shift; tolerance="$1" ;;
     --baseline) shift; baseline="$1" ;;
+    --only) shift; only="$1" ;;
     -*) echo "unknown flag '$1'" >&2; exit 2 ;;
     *) bench="$1" ;;
   esac
   shift
 done
+if [ "$update" = 1 ] && [ -n "$only" ]; then
+  echo "--only cannot be combined with --update-baseline" >&2
+  exit 2
+fi
 if [ -z "$bench" ]; then
   echo "usage: $0 [--update-baseline] [--tolerance X] [--baseline FILE]" \
        "path/to/findep-bench" >&2
@@ -53,23 +67,40 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-"$bench" --family micro --seeds 3 --csv --out "$tmp/micro.csv" > /dev/null
-"$bench" --family bft_batching --seeds 2 --csv --out "$tmp/batching.csv" \
-  > /dev/null
-"$bench" --family bft_churn --seeds 1 --csv --out "$tmp/churn.csv" \
-  > /dev/null
+# With --only, a family is benchmarked only when the baseline holds a
+# matching row for it. The row prefix is the emitting family's scenario
+# namespace (the bft_batching family emits rows under bft_scaling/).
+need() {
+  [ -z "$only" ] && return 0
+  awk -F, -v only="$only" -v prefix="$1" \
+    'NR > 1 && index($1, only) && index($1, prefix) == 1 {found = 1}
+     END {exit found ? 0 : 1}' "$baseline"
+}
 
 # scenario,metric,mean for every gated row of the current run.
-awk -F, 'FNR > 1 && $4 == "ns_per_op" {print $2 "," $4 "," $5}' \
-  "$tmp/micro.csv" > "$tmp/current_time.csv"
-{
+: > "$tmp/current_time.csv"
+: > "$tmp/current_count.csv"
+if need "micro/"; then
+  "$bench" --family micro --seeds 3 --csv --out "$tmp/micro.csv" > /dev/null
+  awk -F, 'FNR > 1 && $4 == "ns_per_op" {print $2 "," $4 "," $5}' \
+    "$tmp/micro.csv" > "$tmp/current_time.csv"
+fi
+if need "bft_scaling/"; then
+  "$bench" --family bft_batching --seeds 2 --csv --out "$tmp/batching.csv" \
+    > /dev/null
   awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
                        $4 == "msgs_per_committed_request") \
-           {print $2 "," $4 "," $5}' "$tmp/batching.csv"
+           {print $2 "," $4 "," $5}' "$tmp/batching.csv" \
+    >> "$tmp/current_count.csv"
+fi
+if need "bft_churn/"; then
+  "$bench" --family bft_churn --seeds 1 --csv --out "$tmp/churn.csv" \
+    > /dev/null
   awk -F, 'FNR > 1 && ($4 == "committed_requests" ||
                        $4 == "stranded_replicas") \
-           {print $2 "," $4 "," $5}' "$tmp/churn.csv"
-} > "$tmp/current_count.csv"
+           {print $2 "," $4 "," $5}' "$tmp/churn.csv" \
+    >> "$tmp/current_count.csv"
+fi
 
 if [ "$update" = 1 ]; then
   {
@@ -83,9 +114,11 @@ if [ "$update" = 1 ]; then
   exit 0
 fi
 
-awk -F, -v tol="$tolerance" '
+awk -F, -v tol="$tolerance" -v only="$only" '
   NR == FNR {
-    if (FNR > 1) { kind[$1 SUBSEP $2] = $3; base[$1 SUBSEP $2] = $4 }
+    if (FNR > 1 && (only == "" || index($1, only))) {
+      kind[$1 SUBSEP $2] = $3; base[$1 SUBSEP $2] = $4
+    }
     next
   }
   {
@@ -94,13 +127,22 @@ awk -F, -v tol="$tolerance" '
     seen[key] = 1
     if (kind[key] == "time") {
       if ($3 + 0 > base[key] * tol) {
-        printf "FAIL %s %s: %.0f ns/op exceeds baseline %.0f x tolerance %s\n",
-               $1, $2, $3, base[key], tol
+        printf "FAIL %s %s: %.0f ns/op is %+.1f%% vs baseline %.0f" \
+               " (tolerance %sx allows %+.0f%%)\n",
+               $1, $2, $3, ($3 / base[key] - 1) * 100, base[key], tol,
+               (tol - 1) * 100
         failed = 1
       }
     } else if ($3 != base[key]) {
-      printf "FAIL %s %s: %s != baseline %s (deterministic counter drifted)\n",
-             $1, $2, $3, base[key]
+      if (base[key] + 0 != 0) {
+        printf "FAIL %s %s: %s != baseline %s (%+.2f%%," \
+               " deterministic counter drifted)\n",
+               $1, $2, $3, base[key], ($3 / base[key] - 1) * 100
+      } else {
+        printf "FAIL %s %s: %s != baseline %s" \
+               " (deterministic counter drifted)\n",
+               $1, $2, $3, base[key]
+      }
       failed = 1
     }
   }
@@ -116,4 +158,9 @@ awk -F, -v tol="$tolerance" '
     exit failed ? 1 : 0
   }
 ' "$baseline" "$tmp/current_time.csv" "$tmp/current_count.csv"
-echo "perf gate OK ($baseline, tolerance ${tolerance}x on time rows)"
+if [ -n "$only" ]; then
+  echo "perf gate OK for rows matching '$only'" \
+       "($baseline, tolerance ${tolerance}x on time rows)"
+else
+  echo "perf gate OK ($baseline, tolerance ${tolerance}x on time rows)"
+fi

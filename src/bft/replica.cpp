@@ -55,6 +55,11 @@ Replica::Replica(ReplicaId id, std::vector<double> weights,
       "timers fire first, costing a spurious view change per lull");
   FINDEP_REQUIRE(options_.state_transfer_grace > 0.0);
   FINDEP_REQUIRE(options_.state_transfer_timeout > 0.0);
+  FINDEP_REQUIRE_MSG(
+      options_.high_watermark_window >= 2 * options_.checkpoint_interval,
+      "high_watermark_window must be at least 2 * checkpoint_interval: "
+      "execution legitimately runs up to an interval ahead of stability, "
+      "and a tighter bound would throttle a perfectly healthy primary");
   for (const double w : weights_) {
     FINDEP_REQUIRE(w > 0.0);
     total_weight_ += w;
@@ -220,12 +225,31 @@ void Replica::enqueue_for_proposal(const Request& request) {
 void Replica::cut_batch() {
   disarm_batch_timer();
   if (batch_queue_.empty()) return;
+  if (next_seq_ > stable_checkpoint_ + options_.high_watermark_window) {
+    // High-watermark back-pressure: the queue holds the batch until the
+    // stable checkpoint advances (retry_deferred_cut), bounding in-flight
+    // consensus state instead of letting a fast primary outrun a slow
+    // checkpoint quorum without limit.
+    cut_deferred_ = true;
+    ++proposals_deferred_;
+    return;
+  }
+  cut_deferred_ = false;
   Batch batch;
   batch.requests.swap(batch_queue_);
   for (const Request& r : batch.requests) {
     if (r.id != 0) queued_ids_.erase(r.id);
   }
   propose(std::move(batch));
+}
+
+void Replica::retry_deferred_cut() {
+  if (!cut_deferred_) return;
+  cut_deferred_ = false;
+  // A view change may have demoted us since the deferral; install_new_view
+  // already voided the old queue in that case.
+  if (!is_primary() || in_view_change_) return;
+  cut_batch();  // re-defers itself if the watermark still binds
 }
 
 void Replica::propose(Batch batch) {
@@ -477,6 +501,7 @@ void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from,
                                          : std::next(it);
   }
   if (stable_checkpoint_ > last_executed_) maybe_schedule_state_fetch();
+  retry_deferred_cut();  // the raised watermark may unblock a deferred cut
 }
 
 // --- timers ----------------------------------------------------------------
@@ -715,6 +740,7 @@ void Replica::install_new_view(const NewView& nv) {
   disarm_batch_timer();
   batch_queue_.clear();
   queued_ids_.clear();
+  cut_deferred_ = false;  // nothing queued, nothing deferred
 
   // Replay normal-case traffic that raced ahead of our installation.
   replay_future_messages();
@@ -946,6 +972,7 @@ void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
   // Still behind a credible horizon (e.g. the responder itself lagged)?
   // Go again.
   maybe_schedule_state_fetch();
+  retry_deferred_cut();  // adoption advanced the stable checkpoint
 }
 
 }  // namespace findep::bft

@@ -72,6 +72,16 @@ struct ReplicaOptions {
   double state_transfer_grace = 0.2;
   /// Patience per fetch attempt before retrying another random peer.
   double state_transfer_timeout = 1.0;
+  /// Primary flow control: the primary never proposes a sequence number
+  /// more than this far ahead of its stable checkpoint. Without the
+  /// bound, a primary outrunning a slow checkpoint quorum piles up
+  /// unbounded in-flight slots (each one full consensus state on every
+  /// replica); with it, a stalled checkpoint back-pressures proposals
+  /// instead of memory. Deferred batches stay queued and are cut as soon
+  /// as the stable checkpoint advances. Must be at least
+  /// 2 * checkpoint_interval, or the bound would bite during the
+  /// perfectly healthy execute-ahead-of-stability phase.
+  SeqNum high_watermark_window = 128;
   /// Seed of the replica-local RNG (random peer choice during state
   /// transfer). The cluster harness derives one per replica from the
   /// cluster seed.
@@ -115,6 +125,11 @@ class Replica {
   }
   [[nodiscard]] std::uint64_t view_changes_started() const noexcept {
     return view_changes_started_;
+  }
+  /// Batch cuts deferred by the high-watermark bound (primary only;
+  /// each deferral event counts, including repeats for the same batch).
+  [[nodiscard]] std::uint64_t proposals_deferred() const noexcept {
+    return proposals_deferred_;
   }
   /// State digest of this replica's stable checkpoint (meaningful only
   /// when stable_checkpoint() > 0).
@@ -186,6 +201,9 @@ class Replica {
   // --- normal case --------------------------------------------------------
   void enqueue_for_proposal(const Request& request);
   void cut_batch();
+  /// Re-attempts a batch cut that the high-watermark bound deferred.
+  /// Called wherever the stable checkpoint advances.
+  void retry_deferred_cut();
   void propose(Batch batch);
   void accept_preprepare(const PrePrepare& pp);
   void maybe_prepared(SeqNum seq);
@@ -273,6 +291,10 @@ class Replica {
   /// arrival order, plus their ids for O(1) duplicate suppression.
   std::vector<Request> batch_queue_;
   std::unordered_map<std::uint64_t, bool> queued_ids_;
+  /// A batch cut is waiting for the stable checkpoint to advance
+  /// (high-watermark back-pressure).
+  bool cut_deferred_ = false;
+  std::uint64_t proposals_deferred_ = 0;
 
   SeqNum stable_checkpoint_ = 0;
   crypto::Digest stable_checkpoint_digest_;

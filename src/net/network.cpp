@@ -17,7 +17,9 @@ SimNetwork::SimNetwork(sim::Simulator& simulator, NetworkOptions options)
 
 void SimNetwork::attach(NodeId node, Handler handler) {
   FINDEP_REQUIRE(handler != nullptr);
-  handlers_[node] = std::move(handler);
+  const auto [it, inserted] = handlers_.insert_or_assign(node, std::move(handler));
+  (void)it;
+  if (inserted) broadcast_order_stale_ = true;
 }
 
 double SimNetwork::sample_latency(NodeId from, NodeId to) {
@@ -45,13 +47,17 @@ void SimNetwork::send(NodeId from, NodeId to, Envelope envelope,
   }
 
   if (from != to) {
-    const auto ga = partition_group_.find(from);
-    const auto gb = partition_group_.find(to);
-    const std::uint32_t group_a = ga == partition_group_.end() ? 0 : ga->second;
-    const std::uint32_t group_b = gb == partition_group_.end() ? 0 : gb->second;
-    if (group_a != group_b) {
-      ++stats_.messages_dropped;
-      return;
+    if (!partition_group_.empty()) {  // all nodes in group 0 otherwise
+      const auto ga = partition_group_.find(from);
+      const auto gb = partition_group_.find(to);
+      const std::uint32_t group_a =
+          ga == partition_group_.end() ? 0 : ga->second;
+      const std::uint32_t group_b =
+          gb == partition_group_.end() ? 0 : gb->second;
+      if (group_a != group_b) {
+        ++stats_.messages_dropped;
+        return;
+      }
     }
     if (filter_ && !filter_(from, to)) {
       ++stats_.messages_dropped;
@@ -82,19 +88,23 @@ void SimNetwork::send(NodeId from, NodeId to, Envelope envelope,
 
 void SimNetwork::broadcast(NodeId from, const Envelope& envelope,
                            std::uint64_t bytes) {
-  // Snapshot destinations first: handlers_ may be mutated by deliveries
-  // scheduled inside send() if the simulator is stepped re-entrantly.
-  std::vector<NodeId> targets;
-  targets.reserve(handlers_.size());
-  for (const auto& [node, handler] : handlers_) {
-    if (node != from) targets.push_back(node);
-  }
-  // Deterministic order regardless of hash-map iteration. Each send()
-  // copies only the envelope handle; the body is shared by all
+  // Deterministic order regardless of hash-map iteration, same order the
+  // per-call sort used to produce. The snapshot also keeps iteration
+  // safe if a re-entrant simulator step attaches nodes mid-broadcast
+  // (new nodes then join from the *next* broadcast on, as before). Each
+  // send() copies only the envelope handle; the body is shared by all
   // recipients (one allocation for the whole broadcast).
-  std::sort(targets.begin(), targets.end());
-  for (const NodeId to : targets) {
-    send(from, to, envelope, bytes);
+  if (broadcast_order_stale_) {
+    broadcast_order_.clear();
+    broadcast_order_.reserve(handlers_.size());
+    for (const auto& [node, handler] : handlers_) {
+      broadcast_order_.push_back(node);
+    }
+    std::sort(broadcast_order_.begin(), broadcast_order_.end());
+    broadcast_order_stale_ = false;
+  }
+  for (const NodeId to : broadcast_order_) {
+    if (to != from) send(from, to, envelope, bytes);
   }
 }
 

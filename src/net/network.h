@@ -106,6 +106,10 @@ class SimNetwork {
   NetworkOptions options_;
   support::Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;
+  /// Sorted broadcast destinations, rebuilt only when the node set
+  /// changes: a 10k-node broadcast must not re-sort 10k ids per call.
+  std::vector<NodeId> broadcast_order_;
+  bool broadcast_order_stale_ = true;
   std::unordered_map<NodeId, std::uint32_t> partition_group_;
   MessageFilter filter_;
   DelayPolicy delay_policy_;

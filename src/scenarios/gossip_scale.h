@@ -1,0 +1,39 @@
+// The 10k-node gossip sweep: Nakamoto block propagation at full network
+// scale. This is the event-engine's stress shape — thousands of
+// far-future mining timers parked beyond the calendar window while dense
+// near-term delivery bursts churn through it — promoted to a first-class
+// scenario family so CI exercises the engine at the scale the sweeps
+// actually run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.h"
+
+namespace findep::scenarios {
+
+/// One honest mining race at `nodes` miners over a degree-`degree`
+/// gossip overlay, run for `horizon_blocks` expected block intervals.
+/// Every metric is seed-derived (block and message counts), never
+/// wall-clock, so the family is deterministic and CI-comparable.
+class GossipScaleScenario : public runtime::Scenario {
+ public:
+  struct Params {
+    std::size_t nodes = 10000;
+    std::size_t degree = 4;
+    double mean_block_interval = 600.0;
+    double horizon_blocks = 12.0;
+  };
+
+  explicit GossipScaleScenario(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] runtime::MetricRecord run(
+      const runtime::RunContext& ctx) const override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace findep::scenarios

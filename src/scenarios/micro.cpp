@@ -11,7 +11,10 @@
 #include "crypto/sha256.h"
 #include "diversity/analyzer.h"
 #include "diversity/metrics.h"
+#include "net/envelope.h"
+#include "net/network.h"
 #include "runtime/registry.h"
+#include "sim/simulator.h"
 #include "support/rng.h"
 
 namespace findep::scenarios {
@@ -86,6 +89,81 @@ OpResult run_op(const std::string& op, std::uint64_t seed) {
       return cfg.digest().prefix64();
     });
   }
+  if (op == "sim_schedule_pop") {
+    // Steady-state event-engine hot loop: one schedule + one pop/execute
+    // per iteration against a queue pre-filled to 10k-node-sweep depth,
+    // with pseudo-random inter-event gaps (the shape every protocol
+    // substrate produces). ns_per_op is the cost of a schedule+pop pair.
+    sim::Simulator sim;
+    support::Rng rng(seed);
+    std::uint64_t pops = 0;
+    for (int i = 0; i < 16384; ++i) {
+      sim.schedule_after(rng.uniform(0.0, 1.0), [&pops] { ++pops; });
+    }
+    // Delays are drawn outside the timed loop (the row measures the
+    // engine, not the generator), from a cache-resident table so the
+    // loop is not also streaming megabytes of pre-drawn doubles.
+    std::vector<double> delays(8192);
+    for (double& d : delays) d = rng.uniform(0.0, 1.0);
+    const std::size_t dmask = delays.size() - 1;
+    return time_op(262144, [&, dmask](std::size_t i) {
+      sim.schedule_after(delays[i & dmask], [&pops] { ++pops; });
+      sim.run(1);
+      return pops;
+    });
+  }
+  if (op == "sim_timer_churn") {
+    // The BFT request/batch-timer pattern: a live timer is cancelled and
+    // re-armed on every executed request, and its captured state (here a
+    // shared_ptr, standing in for the replica closure) must die with the
+    // cancellation, not with the eventual pop.
+    // 512 concurrent timers ≈ a 128-replica cluster's worth of request/
+    // batch/view-change/fetch timers, the cancel-heaviest real workload.
+    // The iteration count is deliberately long: an engine that tombstones
+    // cancels instead of reclaiming them pays per-op costs that *grow*
+    // with churn volume (its queue never shrinks), and a short row hides
+    // that slope.
+    sim::Simulator sim;
+    support::Rng rng(seed);
+    const auto state = std::make_shared<std::uint64_t>(0);
+    std::vector<sim::EventId> timers(512);
+    for (std::size_t i = 0; i < timers.size(); ++i) {
+      timers[i] = sim.schedule_after(1.0 + rng.uniform(0.0, 0.1),
+                                     [state] { ++*state; });
+    }
+    std::vector<double> delays(8192);
+    for (double& d : delays) d = 1.0 + rng.uniform(0.0, 0.1);
+    const std::size_t tmask = timers.size() - 1;
+    const std::size_t dmask = delays.size() - 1;
+    return time_op(1048576, [&, tmask, dmask](std::size_t i) {
+      const std::size_t t = i & tmask;
+      sim.cancel(timers[t]);
+      timers[t] = sim.schedule_after(delays[i & dmask],
+                                     [state] { ++*state; });
+      return static_cast<std::uint64_t>(timers[t]);
+    });
+  }
+  if (op == "sim_broadcast_100") {
+    // net::Network fan-out: one broadcast to 100 attached nodes, drained
+    // through the event engine. ns_per_op is per *broadcast* (99
+    // scheduled deliveries sharing one envelope body).
+    sim::Simulator sim;
+    net::NetworkOptions options;
+    options.min_latency = 0.001;
+    options.mean_extra_latency = 0.0;  // pure scheduling, no latency rng
+    options.seed = seed;
+    net::SimNetwork network(sim, options);
+    std::uint64_t delivered = 0;
+    for (net::NodeId n = 0; n < 100; ++n) {
+      network.attach(n, [&delivered](const net::Message&) { ++delivered; });
+    }
+    const net::Envelope envelope(net::Probe{1, "fanout"});
+    return time_op(4096, [&](std::size_t) {
+      network.broadcast(0, envelope);
+      sim.run();
+      return delivered;
+    });
+  }
   if (op == "analyzer_n100") {
     const config::ComponentCatalog catalog = config::standard_catalog();
     config::ConfigurationSampler sampler(catalog,
@@ -137,7 +215,8 @@ const runtime::ScenarioRegistration kMicro{{
                    "(timings measured, not seed-derived)",
     .grids = {runtime::ParamGrid{
         {"op", {"sha256_4k", "merkle_build_1k", "merkle_prove_1k",
-                "entropy_4k", "config_digest", "analyzer_n100"}},
+                "entropy_4k", "config_digest", "analyzer_n100",
+                "sim_schedule_pop", "sim_timer_churn", "sim_broadcast_100"}},
     }},
     .factory =
         [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {

@@ -1,8 +1,11 @@
 // Bridges library-layer instrumentation into the runtime's counter
 // footer. Lives in scenarios/ because it is the layer that may depend on
 // both runtime and the domain libraries.
+#include <chrono>
+
 #include "diversity/analyzer.h"
 #include "runtime/counters.h"
+#include "sim/simulator.h"
 
 namespace findep::scenarios {
 
@@ -14,6 +17,30 @@ const bool kAnalyzerCounters = [] {
   });
   runtime::register_process_counter("analyzer_cache_misses", [] {
     return diversity::DiversityAnalyzer::cache_stats().misses;
+  });
+  return true;
+}();
+
+// Event-engine throughput. process_events_executed() aggregates at
+// Simulator destruction, so the footer reflects completed runs — which
+// is when it is sampled. events_per_second divides by process uptime
+// (registration ≈ static init ≈ process start); it is a coarse fleet
+// health signal, not a benchmark — the micro family measures the engine
+// properly.
+const bool kSimCounters = [] {
+  static const auto start = std::chrono::steady_clock::now();
+  runtime::register_process_counter("sim_events_executed", [] {
+    return sim::process_events_executed();
+  });
+  runtime::register_process_counter("sim_events_per_second", [] {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const std::uint64_t events = sim::process_events_executed();
+    return elapsed > 0.0
+               ? static_cast<std::uint64_t>(
+                     static_cast<double>(events) / elapsed)
+               : events;
   });
   return true;
 }();

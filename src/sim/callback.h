@@ -1,0 +1,171 @@
+// Small-buffer-optimized, move-only callback for the event engine.
+//
+// Every event the simulator executes carries a closure. `std::function`
+// heap-allocates any capture beyond ~2 words and its copyable-target
+// requirement forces defensive copies, so the schedule/cancel/pop hot
+// path paid one allocator round trip per event. `InlineCallback` stores
+// captures up to `kInlineBytes` in place inside the event slot (a
+// network delivery capture — owner pointer plus a 32-byte Message — fits
+// comfortably) and only falls back to the heap for oversized closures.
+// It is move-only: an event's closure has exactly one owner, the slot it
+// lives in, until the pop hands it to the caller.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace findep::sim {
+
+/// Cache-line aligned: one event's closure is exactly one line in the
+/// simulator's callback slab, so emplace/invoke/destroy never straddle.
+class alignas(64) InlineCallback {
+ public:
+  /// In-place capture budget. Sized for the dominant producer (network
+  /// delivery: this-pointer + Message{from, to, bytes, Envelope} = 40
+  /// bytes) with headroom for one more captured word.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT: match std::function
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineCallback> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& fn)  // NOLINT(google-explicit-constructor)
+      : vtable_(vtable_for<D>()) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { take(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Constructs a closure in place (replacing any current one), without
+  /// the relocate hop a construct-then-move-assign sequence would pay.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineCallback> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+    }
+    vtable_ = vtable_for<D>();
+  }
+
+  /// Destroys the held closure (and everything it captured) immediately.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    vtable_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+  [[nodiscard]] friend bool operator==(const InlineCallback& cb,
+                                       std::nullptr_t) noexcept {
+    return cb.vtable_ == nullptr;
+  }
+
+ private:
+  /// `relocate`/`destroy` are null for trivially copyable inline targets
+  /// (the common case: captures of pointers and PODs): moving is a plain
+  /// byte copy and destruction a no-op, so the hot path pays a predicted
+  /// branch instead of an indirect call.
+  struct VTable {
+    void (*invoke)(unsigned char*);
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static const VTable* vtable_for() {
+    if constexpr (fits_inline<D>() && std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      static constexpr VTable vt{
+          [](unsigned char* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+          nullptr, nullptr};
+      return &vt;
+    } else if constexpr (fits_inline<D>()) {
+      static constexpr VTable vt{
+          [](unsigned char* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+          [](unsigned char* from, unsigned char* to) {
+            D* src = std::launder(reinterpret_cast<D*>(from));
+            ::new (static_cast<void*>(to)) D(std::move(*src));
+            src->~D();
+          },
+          [](unsigned char* s) {
+            std::launder(reinterpret_cast<D*>(s))->~D();
+          }};
+      return &vt;
+    } else {
+      static constexpr VTable vt{
+          [](unsigned char* s) {
+            (**std::launder(reinterpret_cast<D**>(s)))();
+          },
+          [](unsigned char* from, unsigned char* to) {
+            D** src = std::launder(reinterpret_cast<D**>(from));
+            ::new (static_cast<void*>(to)) D*(*src);
+          },
+          [](unsigned char* s) {
+            delete *std::launder(reinterpret_cast<D**>(s));
+          }};
+      return &vt;
+    }
+  }
+
+  void take(InlineCallback& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      if (vtable_->relocate != nullptr) {
+        vtable_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      }
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace findep::sim

@@ -1,16 +1,154 @@
+// Calendar-queue implementation. The determinism argument, bucket-width
+// policy, and overflow handling are documented in DESIGN.md ("The event
+// engine"); the comments here cover only the local invariants.
+//
+// Structural invariants maintained between public calls:
+//   - every live event is either linked into exactly one bucket ring slot
+//     (state kBucket) or parked in the overflow heap (kOverflow);
+//   - a linked event's absolute bucket lies in [cur_bucket_, cur_bucket_
+//     + buckets): the cursor never passes a non-empty ring slot, and
+//     inserts below the cursor clamp to it, so each ring slot holds
+//     events of a single absolute bucket and the first non-empty slot at
+//     or after the cursor holds the global minimum;
+//   - bucket rings are sorted by (at, seq) — a strict total order because
+//     seq is unique — so the ring head is the bucket minimum;
+//   - overflow events sit at or beyond the window end, hence never
+//     before any bucketed event.
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace findep::sim {
 
+namespace {
+
+/// Calendar geometry bounds: kMinBuckets keeps tiny simulations dense,
+/// kMaxBuckets caps the bucket-ends array at 1 MiB for 10k+-node sweeps
+/// (the slab itself grows with pending events regardless).
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 17;
+/// Head-of-queue sample size for deriving the bucket width at rebuild.
+constexpr std::size_t kWidthSample = 64;
+
+/// Events executed by Simulators this process has destroyed.
+std::atomic<std::uint64_t> g_events_executed{0};
+
+std::size_t ceil_pow2(std::size_t v) {
+  std::size_t n = 1;
+  while (n < v) n <<= 1;
+  return n;
+}
+
+}  // namespace
+
+std::uint64_t process_events_executed() noexcept {
+  return g_events_executed.load(std::memory_order_relaxed);
+}
+
+Simulator::Simulator()
+    : buckets_(kMinBuckets),
+      mask_(kMinBuckets - 1),
+      grow_at_(2 * kMinBuckets) {}
+
+Simulator::~Simulator() {
+  g_events_executed.fetch_add(executed_, std::memory_order_relaxed);
+}
+
+std::uint32_t Simulator::grow_slab() {
+  FINDEP_ASSERT(slab_.size() < kNil);
+  slab_.emplace_back();
+  fns_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::drain_overflow_into_window() {
+  const std::uint64_t window_end = cur_bucket_ + buckets_.size();
+  while (!overflow_.empty()) {
+    const OverflowEntry top = overflow_.front();
+    if (bucket_of(top.at) >= window_end) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    overflow_.pop_back();
+    Slot& s = slab_[top.slot];
+    if (state_of(s) == kDeadOverflow) {
+      release_slot(top.slot);
+      continue;
+    }
+    FINDEP_ASSERT(state_of(s) == kOverflow && s.seq == top.seq);
+    std::uint64_t b = bucket_of(s.at);
+    if (b < cur_bucket_) b = cur_bucket_;
+    link_sorted(static_cast<std::uint32_t>(b & mask_), top.slot);
+    ++window_live_;
+  }
+}
+
+std::uint32_t Simulator::find_next() {
+  FINDEP_ASSERT(live_ != 0);
+  // Shrink lazily, and only when sparseness actually hurts: a calendar
+  // left oversized after a drain costs nothing unless pops are scanning
+  // long runs of empty buckets. (Eager live-count shrinking would
+  // oscillate on burst-drain workloads like broadcast fan-out.)
+  if (scan_debt_ > 4 * buckets_.size() && buckets_.size() > kMinBuckets &&
+      live_ * 4 < buckets_.size()) {
+    rebuild();
+  }
+  if (window_live_ == 0) {
+    // Every live event is parked in overflow: discard dead heap heads,
+    // then jump the window straight to the earliest live bucket instead
+    // of scanning potentially millions of empty ones.
+    while (!overflow_.empty() &&
+           state_of(slab_[overflow_.front().slot]) == kDeadOverflow) {
+      const std::uint32_t dead = overflow_.front().slot;
+      std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      overflow_.pop_back();
+      release_slot(dead);
+    }
+    FINDEP_ASSERT(!overflow_.empty());
+    const std::uint64_t b = bucket_of(overflow_.front().at);
+    if (b > cur_bucket_) cur_bucket_ = b;
+    drain_overflow_into_window();
+    FINDEP_ASSERT(window_live_ != 0);
+  }
+  for (;;) {
+    const std::uint32_t head =
+        buckets_[static_cast<std::size_t>(cur_bucket_ & mask_)].head;
+    if (head != kNil) return head;
+    ++cur_bucket_;
+    ++scan_debt_;
+    if (!overflow_.empty()) drain_overflow_into_window();
+  }
+}
+
+InlineCallback Simulator::extract(std::uint32_t idx) noexcept {
+  Slot& s = slab_[idx];
+  unlink(ring_of(s), idx);
+  --window_live_;
+  --live_;
+  ++s.gen;
+  InlineCallback fn = std::move(fns_[idx]);
+  set_state(s, kFree);
+  s.next = free_head_;
+  free_head_ = idx;
+  return fn;
+}
+
+void Simulator::execute(std::uint32_t idx) {
+  FINDEP_ASSERT(slab_[idx].at >= now_);
+  now_ = slab_[idx].at;
+  // The slot is retired *before* the callback runs: a re-entrant
+  // schedule_at may recycle it (and may grow the slab).
+  InlineCallback fn = extract(idx);
+  ++executed_;
+  fn();
+}
+
 EventId Simulator::schedule_at(Time at, Callback fn) {
   FINDEP_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
   FINDEP_REQUIRE(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t idx = acquire_slot();
+  fns_[idx] = std::move(fn);
+  return commit_schedule(idx, at);
 }
 
 EventId Simulator::schedule_after(Time delay, Callback fn) {
@@ -18,37 +156,15 @@ EventId Simulator::schedule_after(Time delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Simulator::cancel(EventId id) {
-  // Removing from pending_ is enough: pop_next drops queue entries whose
-  // id is no longer pending, so the cancelled callback never runs.
-  return pending_.erase(id) == 1;
-}
-
-Simulator::Entry Simulator::pop_next() {
-  for (;;) {
-    FINDEP_ASSERT(!queue_.empty());
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (pending_.erase(entry.id) == 1) {
-      return entry;  // still live
-    }
-    // else: cancelled; skip the tombstone.
-  }
-}
-
 void Simulator::step() {
   FINDEP_REQUIRE(has_pending());
-  Entry entry = pop_next();
-  FINDEP_ASSERT(entry.at >= now_);
-  now_ = entry.at;
-  ++executed_;
-  entry.fn();
+  execute(find_next());
 }
 
 std::uint64_t Simulator::run(std::uint64_t max_events) {
   std::uint64_t executed = 0;
-  while (has_pending() && executed < max_events) {
-    step();
+  while (live_ != 0 && executed < max_events) {
+    execute(find_next());
     ++executed;
   }
   return executed;
@@ -57,22 +173,122 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
 std::uint64_t Simulator::run_until(Time deadline) {
   FINDEP_REQUIRE(deadline >= now_);
   std::uint64_t executed = 0;
-  while (has_pending()) {
-    Entry entry = pop_next();
-    if (entry.at > deadline) {
-      // Not due yet: re-queue it (seq preserved, so FIFO order among equal
-      // timestamps is unaffected) and mark it pending again.
-      pending_.insert(entry.id);
-      queue_.push(std::move(entry));
-      break;
+  while (live_ != 0) {
+    if (window_live_ == 0) {
+      // Peek the overflow minimum without jumping the cursor: if the
+      // next event is past the deadline, leave the window where future
+      // (pre-deadline-horizon) inserts will land unclamped.
+      while (!overflow_.empty() &&
+             state_of(slab_[overflow_.front().slot]) == kDeadOverflow) {
+        const std::uint32_t dead = overflow_.front().slot;
+        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+        overflow_.pop_back();
+        release_slot(dead);
+      }
+      FINDEP_ASSERT(!overflow_.empty());
+      if (overflow_.front().at > deadline) break;
     }
-    now_ = entry.at;
-    ++executed_;
+    const std::uint32_t idx = find_next();
+    if (slab_[idx].at > deadline) break;
+    execute(idx);
     ++executed;
-    entry.fn();
   }
   now_ = deadline;
   return executed;
+}
+
+void Simulator::maybe_rebuild() {
+  const std::size_t n = buckets_.size();
+  const bool grow = live_ > 2 * n && n < kMaxBuckets;
+  // Re-width requests are rate-limited so a distribution the calendar
+  // cannot split (e.g. sub-resolution timestamp spreads) degrades to
+  // bounded walks instead of a rebuild per insert. Shrinking is handled
+  // scan-driven in find_next().
+  const bool rewidth =
+      rebuild_pending_ &&
+      next_seq_ - last_rebuild_seq_ > kWalkLimit + live_ / 8;
+  if (grow || rewidth) rebuild();
+}
+
+void Simulator::rebuild() {
+  ++rebuilds_;
+  rebuild_pending_ = false;
+  scan_debt_ = 0;
+  last_rebuild_seq_ = next_seq_;
+
+  std::vector<std::uint32_t> live;
+  live.reserve(live_);
+  for (std::uint32_t idx = 0;
+       idx < static_cast<std::uint32_t>(slab_.size()); ++idx) {
+    switch (state_of(slab_[idx])) {
+      case kBucket:
+      case kOverflow:
+        live.push_back(idx);
+        break;
+      case kDeadOverflow:
+        release_slot(idx);
+        break;
+      case kFree:
+        break;
+    }
+  }
+  FINDEP_ASSERT(live.size() == live_);
+
+  std::sort(live.begin(), live.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const Slot& sa = slab_[a];
+              const Slot& sb = slab_[b];
+              if (sa.at != sb.at) return sa.at < sb.at;
+              return sa.seq < sb.seq;
+            });
+
+  // Width policy: twice the mean gap across the head-of-queue sample, so
+  // a typical bucket holds a couple of soon-due events even when the full
+  // horizon is wildly skewed (10k far-future mining timers vs. dense
+  // near-term gossip deliveries). Falls back to the full span when the
+  // head sample is all ties, and keeps the current width when every
+  // timestamp is identical (the calendar cannot split ties anyway).
+  if (live.size() >= 2) {
+    const std::size_t k = std::min(kWidthSample, live.size());
+    const Time first = slab_[live.front()].at;
+    double span = slab_[live[k - 1]].at - first;
+    std::size_t gaps = k - 1;
+    if (span <= 0.0) {
+      span = slab_[live.back()].at - first;
+      gaps = live.size() - 1;
+    }
+    if (span > 0.0) {
+      width_ =
+          std::clamp(2.0 * span / static_cast<double>(gaps), 1e-9, 1e15);
+      inv_width_ = 1.0 / width_;
+    }
+  }
+
+  const std::size_t n =
+      std::clamp(ceil_pow2(live.size()), kMinBuckets, kMaxBuckets);
+  buckets_.assign(n, BucketEnds{});
+  mask_ = n - 1;
+  grow_at_ = n < kMaxBuckets ? 2 * n : SIZE_MAX;
+  overflow_.clear();
+  window_live_ = 0;
+  cur_bucket_ = bucket_of(live.empty() ? now_ : slab_[live.front()].at);
+  // Sorted re-placement makes every bucket link a tail append and every
+  // overflow push an O(1) heap append. Callbacks never move: only the
+  // 32-byte key records are re-linked.
+  for (const std::uint32_t idx : live) place(idx);
+}
+
+Simulator::EngineStats Simulator::engine_stats() const noexcept {
+  EngineStats st;
+  st.slab_slots = slab_.size();
+  for (std::uint32_t i = free_head_; i != kNil; i = slab_[i].next) {
+    ++st.free_slots;
+  }
+  st.buckets = buckets_.size();
+  st.bucket_width = width_;
+  st.overflow = overflow_.size();
+  st.rebuilds = rebuilds_;
+  return st;
 }
 
 }  // namespace findep::sim

@@ -4,14 +4,35 @@
 // attestation) execute on this engine: events are callbacks scheduled at
 // simulated timestamps, and ties are broken by schedule order so a run is
 // a pure function of (program, seed). Simulated time is in seconds.
+//
+// The implementation is a self-resizing *calendar queue* over a slab of
+// generation-tagged event slots (see DESIGN.md, "The event engine"):
+//
+//   - events within the current bucket window live in per-bucket sorted
+//     intrusive lists; far-future events wait in a sorted overflow set
+//     and are pulled into buckets as the window advances;
+//   - event records are slab-allocated and recycled through a free list,
+//     so steady-state scheduling performs no allocation at all. The slab
+//     is split structure-of-arrays style: 32-byte key/link records that
+//     inserts and cancels walk, and a parallel array of callbacks that
+//     only the owning event ever touches;
+//   - callbacks are `InlineCallback` (small-buffer-optimized), so typical
+//     captures (network deliveries, protocol timers) never touch the
+//     heap, and the templated schedule paths construct the closure
+//     directly inside the event slot;
+//   - `cancel` is O(1) pointer surgery keyed by a generation tag — no
+//     hashing — and destroys the captured callback state immediately.
+//
+// The observable contract is unchanged from the binary-heap engine it
+// replaced: same events, same order, bit-identical runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.h"
 #include "support/assert.h"
 
 namespace findep::sim {
@@ -20,7 +41,14 @@ namespace findep::sim {
 using Time = double;
 
 /// Identifies a scheduled event so it can be cancelled (e.g. timers).
+/// Encodes (generation << 32 | slot), so a stale id — already fired,
+/// already cancelled, or recycled — is recognized in O(1).
 using EventId = std::uint64_t;
+
+/// Total events executed by every Simulator this process has destroyed
+/// (each simulator flushes its executed count once, at destruction).
+/// Feeds the `sim_events_*` process counters in the suite footer.
+[[nodiscard]] std::uint64_t process_events_executed() noexcept;
 
 /// Event-driven simulator with a monotone clock.
 ///
@@ -29,27 +57,57 @@ using EventId = std::uint64_t;
 /// `now()` or later.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
+
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Schedules `fn` to run at absolute time `at` (>= now()). Returns an id
-  /// usable with `cancel`.
+  /// usable with `cancel`. The closure is constructed directly inside the
+  /// event slot; nullable callables (e.g. std::function) must be
+  /// non-null.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  EventId schedule_at(Time at, F&& fn) {
+    FINDEP_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
+    if constexpr (requires { fn == nullptr; }) {
+      FINDEP_REQUIRE(fn != nullptr);
+    }
+    const std::uint32_t idx = acquire_slot();
+    try {
+      fns_[idx].emplace(std::forward<F>(fn));
+    } catch (...) {
+      release_slot(idx);
+      throw;
+    }
+    return commit_schedule(idx, at);
+  }
+  /// Overload for a pre-built callback (and the nullptr contract check).
   EventId schedule_at(Time at, Callback fn);
 
   /// Schedules `fn` to run `delay` (>= 0) seconds from now.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  EventId schedule_after(Time delay, F&& fn) {
+    FINDEP_REQUIRE(delay >= 0.0);
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
   EventId schedule_after(Time delay, Callback fn);
 
   /// Cancels a pending event. Returns false if the event already ran, was
-  /// already cancelled, or never existed. O(1): the entry is tombstoned
-  /// and skipped when popped.
+  /// already cancelled, or never existed. O(1), and the cancelled
+  /// callback (with everything it captured) is destroyed immediately.
   bool cancel(EventId id);
 
   [[nodiscard]] Time now() const noexcept { return now_; }
-  [[nodiscard]] bool has_pending() const noexcept {
-    return !pending_.empty();
-  }
-  [[nodiscard]] std::size_t pending_count() const noexcept {
-    return pending_.size();
-  }
+  [[nodiscard]] bool has_pending() const noexcept { return live_ != 0; }
+  [[nodiscard]] std::size_t pending_count() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t executed_count() const noexcept {
     return executed_;
   }
@@ -65,29 +123,270 @@ class Simulator {
   /// exactly `deadline` (even if idle). Returns events executed.
   std::uint64_t run_until(Time deadline);
 
+  /// Observability for tests and the design doc: calendar geometry and
+  /// slab usage. Never needed to *use* the simulator.
+  struct EngineStats {
+    std::size_t slab_slots = 0;      ///< total slots ever allocated
+    std::size_t free_slots = 0;      ///< slots on the free list
+    std::size_t buckets = 0;         ///< current calendar size
+    double bucket_width = 0.0;       ///< seconds per bucket
+    std::size_t overflow = 0;        ///< entries parked beyond the window
+    std::uint64_t rebuilds = 0;      ///< calendar resize/re-width count
+  };
+  [[nodiscard]] EngineStats engine_stats() const noexcept;
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Sorted-insert walk length that flags the bucket width as too coarse
+  /// for the current event distribution.
+  static constexpr std::size_t kWalkLimit = 32;
+  enum SlotState : std::uint32_t {
+    kFree,          ///< on the free list
+    kBucket,        ///< linked into a calendar bucket
+    kOverflow,      ///< parked in the overflow set
+    kDeadOverflow,  ///< cancelled while in overflow; reclaimed lazily
+  };
+
+  /// Key/link record of one event slot: exactly 32 bytes, two per cache
+  /// line, so sorted-insert walks and cancel unlinks touch half the
+  /// memory the combined record would. The callback lives in the
+  /// parallel `fns_` array. `ring_state` packs the bucket index the slot
+  /// is linked into (low bits) with its SlotState (high bits).
+  struct alignas(32) Slot {
+    Time at = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t gen = 1;  ///< bumped when the id dies (fire/cancel)
+    std::uint32_t ring_state = 0;
+  };
+  static constexpr std::uint32_t kStateShift = 24;
+  static constexpr std::uint32_t kRingMask = (1u << kStateShift) - 1;
+
+  [[nodiscard]] static SlotState state_of(const Slot& s) noexcept {
+    return static_cast<SlotState>(s.ring_state >> kStateShift);
+  }
+  [[nodiscard]] static std::uint32_t ring_of(const Slot& s) noexcept {
+    return s.ring_state & kRingMask;
+  }
+  static void set_state(Slot& s, SlotState state,
+                        std::uint32_t ring = 0) noexcept {
+    s.ring_state = (static_cast<std::uint32_t>(state) << kStateShift) | ring;
+  }
+
+  /// Sorted set of events beyond the bucket window, min at the front
+  /// (binary heap ordered by (at, seq) — a deterministic total order).
+  struct OverflowEntry {
     Time at;
     std::uint64_t seq;
-    EventId id;
-    Callback fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a,
+                    const OverflowEntry& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops the earliest non-cancelled event. Requires has_pending().
-  Entry pop_next();
+  [[nodiscard]] std::uint64_t bucket_of(Time at) const noexcept;
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (free_head_ != kNil) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slab_[idx].next;
+      return idx;
+    }
+    return grow_slab();
+  }
+  [[nodiscard]] std::uint32_t grow_slab();
+  void release_slot(std::uint32_t idx) noexcept;
+  /// Links a freshly filled slot (at set, callback emplaced) into the
+  /// calendar, assigns its seq, and returns its EventId.
+  EventId commit_schedule(std::uint32_t idx, Time at);
+  void place(std::uint32_t idx);
+  void link_sorted(std::uint32_t ring, std::uint32_t idx);
+  void unlink(std::uint32_t ring, std::uint32_t idx) noexcept;
+  /// Pulls due overflow entries into the window ending at
+  /// `cur_bucket_ + buckets`.
+  void drain_overflow_into_window();
+  /// Index of the earliest live event, advancing the window to its
+  /// bucket. Requires has_pending(). Does not remove the event.
+  [[nodiscard]] std::uint32_t find_next();
+  /// Unlinks `idx` (a bucket head), retires its id and returns its
+  /// callback; the slot is back on the free list when this returns.
+  [[nodiscard]] InlineCallback extract(std::uint32_t idx) noexcept;
+  void execute(std::uint32_t idx);
+  void rebuild();
+  void maybe_rebuild();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> pending_;  // ids scheduled but not yet run
+  /// Head and tail of one calendar bucket's sorted list, packed so every
+  /// bucket touch (append needs the tail, pop the head) is one 8-byte
+  /// load from a single cache line.
+  struct BucketEnds {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  std::vector<Slot> slab_;
+  std::vector<InlineCallback> fns_;  ///< parallel to slab_
+  std::uint32_t free_head_ = kNil;
+  std::vector<BucketEnds> buckets_;
+  std::vector<OverflowEntry> overflow_;  // heap (OverflowLater)
+  double width_ = 1.0;
+  double inv_width_ = 1.0;        ///< 1/width_: bucket_of multiplies
+  std::uint64_t cur_bucket_ = 0;  ///< absolute index of the scan cursor
+  std::uint64_t mask_ = 0;        ///< bucket count - 1 (power of two)
+  std::size_t live_ = 0;          ///< schedulable (non-cancelled) events
+  std::size_t window_live_ = 0;   ///< live events currently in buckets
+  std::size_t grow_at_ = 0;       ///< live_ level that triggers a grow
+  bool rebuild_pending_ = false;  ///< a sorted insert walked too far
+  std::uint64_t scan_debt_ = 0;   ///< empty buckets scanned since rebuild
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t last_rebuild_seq_ = 0;  ///< rate-limits re-width rebuilds
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
+
+// ——— Hot-path definitions ———
+//
+// The schedule/cancel fast path lives in the header so it compiles
+// straight into the caller (the templated schedule_at already does):
+// steady-state scheduling is a handful of inlined loads and stores, no
+// cross-TU call. The cold machinery (window advance, overflow drains,
+// rebuilds) stays in simulator.cpp.
+
+inline std::uint64_t Simulator::bucket_of(Time at) const noexcept {
+  // Multiplying by the cached reciprocal is deterministic too (IEEE-754
+  // is exact about which double it yields) — it only has to be
+  // *consistent* within a run, since bucket boundaries affect structure,
+  // never event order.
+  const double q = at * inv_width_;
+  // Cap so enormous horizons (or +inf) stay representable: everything
+  // past the cap collapses into one final — still sorted — bucket.
+  constexpr double kCap = 4.0e18;
+  if (!(q < kCap)) return static_cast<std::uint64_t>(kCap);
+  return static_cast<std::uint64_t>(q);
+}
+
+inline void Simulator::release_slot(std::uint32_t idx) noexcept {
+  Slot& s = slab_[idx];
+  fns_[idx].reset();
+  set_state(s, kFree);
+  s.next = free_head_;
+  free_head_ = idx;
+}
+
+inline void Simulator::link_sorted(std::uint32_t ring, std::uint32_t idx) {
+  Slot& s = slab_[idx];
+  set_state(s, kBucket, ring);
+  BucketEnds& ends = buckets_[ring];
+  if (ends.tail == kNil) {
+    s.prev = s.next = kNil;
+    ends.head = ends.tail = idx;
+    return;
+  }
+  Slot& t = slab_[ends.tail];
+  if (t.at < s.at || (t.at == s.at && t.seq < s.seq)) {
+    // Fast path: FIFO workloads (equal timestamps always carry a larger
+    // seq) and overflow drains (heap pops ascend) append at the tail.
+    s.prev = ends.tail;
+    s.next = kNil;
+    t.next = idx;
+    ends.tail = idx;
+    return;
+  }
+  std::uint32_t cur = ends.head;
+  std::size_t walked = 0;
+  for (;;) {
+    const Slot& c = slab_[cur];
+    if (s.at < c.at || (s.at == c.at && s.seq < c.seq)) break;
+    FINDEP_ASSERT(c.next != kNil);  // the tail compare guarantees a stop
+    cur = c.next;
+    ++walked;
+  }
+  Slot& c = slab_[cur];
+  s.next = cur;
+  s.prev = c.prev;
+  c.prev = idx;
+  if (s.prev == kNil) {
+    ends.head = idx;
+  } else {
+    slab_[s.prev].next = idx;
+  }
+  if (walked > kWalkLimit) rebuild_pending_ = true;
+}
+
+inline void Simulator::unlink(std::uint32_t ring, std::uint32_t idx) noexcept {
+  const Slot& s = slab_[idx];
+  BucketEnds& ends = buckets_[ring];
+  // Written as address selection (not control flow) so the compiler can
+  // emit conditional moves: an event's list position is data-random, and
+  // a mispredicted branch here costs more than both unconditional
+  // stores. The untaken addresses are computed but never dereferenced.
+  std::uint32_t* const prev_next =
+      s.prev != kNil ? &slab_[s.prev].next : &ends.head;
+  std::uint32_t* const next_prev =
+      s.next != kNil ? &slab_[s.next].prev : &ends.tail;
+  *prev_next = s.next;
+  *next_prev = s.prev;
+}
+
+inline void Simulator::place(std::uint32_t idx) {
+  Slot& s = slab_[idx];
+  std::uint64_t b = bucket_of(s.at);
+  if (b < cur_bucket_) {
+    // run_until may have advanced the cursor past bucket_of(now_);
+    // events scheduled behind the cursor clamp into its slot, where the
+    // sorted link keeps them ahead of everything later.
+    b = cur_bucket_;
+  } else if (b - cur_bucket_ > mask_) {  // mask_ + 1 == buckets_.size()
+    set_state(s, kOverflow);
+    overflow_.push_back(OverflowEntry{s.at, s.seq, idx});
+    std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    return;
+  }
+  link_sorted(static_cast<std::uint32_t>(b & mask_), idx);
+  ++window_live_;
+}
+
+inline EventId Simulator::commit_schedule(std::uint32_t idx, Time at) {
+  Slot& s = slab_[idx];
+  s.at = at;
+  s.seq = next_seq_++;
+  const EventId id = (static_cast<EventId>(s.gen) << 32) | idx;
+  place(idx);
+  ++live_;
+  // One predictable branch on the hot path; the full (rate-limited)
+  // policy runs only when growth or a re-width request makes it live.
+  if (live_ > grow_at_ || rebuild_pending_) maybe_rebuild();
+  return id;
+}
+
+inline bool Simulator::cancel(EventId id) {
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slab_.size()) return false;
+  Slot& s = slab_[idx];
+  if (s.gen != gen) return false;  // already fired, cancelled, or recycled
+  switch (state_of(s)) {
+    case kBucket:
+      unlink(ring_of(s), idx);
+      --window_live_;
+      ++s.gen;
+      release_slot(idx);  // destroys the captured closure state now
+      break;
+    case kOverflow:
+      ++s.gen;
+      fns_[idx].reset();  // the closure dies now; the heap entry is
+      set_state(s, kDeadOverflow);  // lazily reaped
+      break;
+    default:
+      return false;  // a free slot whose id was never issued
+  }
+  --live_;
+  return true;
+}
 
 }  // namespace findep::sim

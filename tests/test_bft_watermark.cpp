@@ -1,0 +1,84 @@
+// Primary flow control: the high-watermark window bounds how far
+// next_seq_ may run ahead of the stable checkpoint. A burst that would
+// outrun a tight window must be deferred (not dropped), resume as
+// checkpoints advance, and never cost a view change; the default window
+// must never bite in a healthy run.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bft/cluster.h"
+#include "support/assert.h"
+
+namespace findep::bft {
+namespace {
+
+ClusterOptions fast_options(std::uint64_t seed = 1) {
+  ClusterOptions opt;
+  opt.network.min_latency = 0.005;
+  opt.network.mean_extra_latency = 0.01;
+  opt.replica.request_timeout = 0.8;
+  opt.replica.view_change_timeout = 1.2;
+  opt.seed = seed;
+  return opt;
+}
+
+std::set<std::uint64_t> executed_ids(const Replica& replica) {
+  std::set<std::uint64_t> ids;
+  for (const ExecutedEntry& e : replica.executed()) {
+    if (e.request.id != 0) ids.insert(e.request.id);
+  }
+  return ids;
+}
+
+TEST(BftWatermark, BurstBeyondWindowDefersThenCommitsEverything) {
+  // 20 requests against window 4 / checkpoint interval 2: the primary
+  // may propose at most 4 slots beyond stability, so the burst must
+  // back-pressure at least once, then drain as checkpoints certify.
+  ClusterOptions opt = fast_options(61);
+  opt.replica.checkpoint_interval = 2;
+  opt.replica.high_watermark_window = 4;
+  BftCluster cluster(4, opt);
+  for (int i = 0; i < 20; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(20, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+
+  std::set<std::uint64_t> want;
+  for (std::uint64_t i = 1; i <= 20; ++i) want.insert(i);
+  EXPECT_EQ(executed_ids(cluster.replica(2)), want);
+
+  // The window bit (the whole point of the tight configuration)...
+  EXPECT_GT(cluster.replica(0).proposals_deferred(), 0u);
+  // ...but back-pressure is not a fault: nobody escalated to a view
+  // change while the primary was waiting out its checkpoint quorum.
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.replica(r).view(), 0u);
+    EXPECT_EQ(cluster.replica(r).view_changes_started(), 0u);
+  }
+}
+
+TEST(BftWatermark, DefaultWindowNeverBitesInHealthyRun) {
+  // The default window exists for pathological checkpoint stalls; a
+  // normal burst must sail through with zero deferrals (and therefore
+  // byte-identical sweep counters to the pre-watermark protocol).
+  ClusterOptions opt = fast_options(62);
+  BftCluster cluster(4, opt);
+  for (int i = 0; i < 24; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(24, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.replica(r).proposals_deferred(), 0u);
+  }
+}
+
+TEST(BftWatermark, RejectsWindowTighterThanTwoCheckpointIntervals) {
+  // Execution legitimately runs up to an interval ahead of stability;
+  // a window below 2x would throttle a healthy primary.
+  ClusterOptions opt = fast_options(63);
+  opt.replica.checkpoint_interval = 4;
+  opt.replica.high_watermark_window = 7;
+  EXPECT_THROW(BftCluster(4, opt), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::bft
