@@ -745,17 +745,28 @@ void Replica::install_new_view(const NewView& nv) {
   // Replay normal-case traffic that raced ahead of our installation.
   replay_future_messages();
 
-  // Re-drive pending client requests in the new view.
+  // Re-drive pending client requests in the new view, in request-id
+  // order: the hash map's iteration order would otherwise decide how
+  // requests pack into the new primary's batches — and with it every
+  // downstream proposal, message and byte count.
+  std::vector<const Request*> redrive;
+  redrive.reserve(pending_requests_.size());
+  // findep-lint: allow(unordered-iteration) -- collect-only walk; sorted by request id below before anything order-sensitive happens
+  for (const auto& [rid, request] : pending_requests_) {
+    redrive.push_back(&request);
+  }
+  std::sort(redrive.begin(), redrive.end(),
+            [](const Request* a, const Request* b) { return a->id < b->id; });
   if (is_primary()) {
-    for (const auto& [rid, request] : pending_requests_) {
-      enqueue_for_proposal(request);
+    for (const Request* request : redrive) {
+      enqueue_for_proposal(*request);
     }
     // Don't leave a partial batch waiting on the timer: these requests
     // already aged through a whole view change.
     cut_batch();
   } else {
-    for (const auto& [rid, request] : pending_requests_) {
-      send_to(primary_of(view_), request);
+    for (const Request* request : redrive) {
+      send_to(primary_of(view_), *request);
     }
   }
   arm_request_timer();

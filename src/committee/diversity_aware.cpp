@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <map>
 
 #include "support/assert.h"
 
@@ -37,7 +37,9 @@ void enforce_component_cap(std::vector<double>& weights,
     for (const double w : weights) total += w;
     if (total < 0.2 * initial_total) break;  // feasibility frontier
 
-    std::unordered_map<config::ComponentId, double> exposure;
+    // Ordered map: the worst-component argmax below must break FP ties
+    // by component id, not by hash-bucket layout.
+    std::map<config::ComponentId, double> exposure;
     for (std::size_t m = 0; m < weights.size(); ++m) {
       for (const config::ComponentId c : member_components[m]) {
         exposure[c] += weights[m];
@@ -114,9 +116,11 @@ Committee form_committee(const StakeRegistry& registry,
 
   // Stage 1 — configuration cap. Per-configuration offered power, then
   // the fixpoint counted_j = min(power_j, cap · Σ counted).
-  std::unordered_map<config::ConfigurationId, double> config_power;
+  // Ordered maps: the fixpoint folds power totals in iteration order, and
+  // FP addition is order-sensitive — digest order pins the result.
+  std::map<config::ConfigurationId, double> config_power;
   for (const Offer& o : offers) config_power[o.config] += o.weight;
-  std::unordered_map<config::ConfigurationId, double> counted = config_power;
+  std::map<config::ConfigurationId, double> counted = config_power;
   for (int iter = 0; iter < 64; ++iter) {
     double total = 0.0;
     for (const auto& [cfg, w] : counted) total += w;
@@ -150,7 +154,7 @@ Committee form_committee(const StakeRegistry& registry,
                           policy.per_component_cap);
   }
 
-  std::unordered_map<config::ComponentId, double> final_exposure;
+  std::map<config::ComponentId, double> final_exposure;
   for (std::size_t m = 0; m < offers.size(); ++m) {
     const double weight = weights[m];
     if (weight <= 0.0) continue;

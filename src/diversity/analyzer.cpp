@@ -4,9 +4,11 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "crypto/sha256.h"
 #include "diversity/metrics.h"
@@ -140,9 +142,12 @@ DiversityReport compute_report(
     std::size_t replicas = 0;
     config::ComponentKind kind = config::ComponentKind::kOperatingSystem;
   };
-  std::unordered_map<config::ComponentId, Acc> per_component;
-  std::unordered_map<config::ComponentKind,
-                     std::unordered_map<config::ComponentId, double>>
+  // Ordered maps: the worst-exposure argmax and the per-kind entropy
+  // folds below consume these in iteration order, and both FP ties and
+  // FP addition are order-sensitive — component-id order pins the
+  // report bytes across stdlib hash implementations.
+  std::map<config::ComponentId, Acc> per_component;
+  std::map<config::ComponentKind, std::map<config::ComponentId, double>>
       per_kind_power;
   for (const auto& rec : population) {
     for (const config::ComponentKind kind : config::all_component_kinds()) {
@@ -156,7 +161,7 @@ DiversityReport compute_report(
     }
   }
 
-  std::unordered_map<config::ComponentKind, ComponentExposure> worst_by_kind;
+  std::map<config::ComponentKind, ComponentExposure> worst_by_kind;
   for (const auto& [id, acc] : per_component) {
     ComponentExposure exp;
     exp.component = id;

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "config/replica_config.h"
@@ -62,8 +62,9 @@ struct DiversityReport {
   std::optional<ComponentExposure> worst_overall;
 
   /// Per-kind Shannon entropy of the power distribution over that kind's
-  /// variants (diversity per axis).
-  std::unordered_map<config::ComponentKind, double> kind_entropy_bits;
+  /// variants (diversity per axis). Ordered so report consumers can
+  /// iterate it without pinning hash-bucket layout into their output.
+  std::map<config::ComponentKind, double> kind_entropy_bits;
 
   /// Human-readable multi-line rendering.
   [[nodiscard]] std::string to_string(

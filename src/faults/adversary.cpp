@@ -22,8 +22,9 @@ CompromiseResult OperatorAdversary::attack(
   }
   FINDEP_REQUIRE(total > 0.0);
 
-  std::vector<std::pair<OperatorId, double>> ranked(
-      power_of_operator.begin(), power_of_operator.end());
+  // findep-lint: allow(unordered-iteration) -- materialization-only walk; `ranked` is sorted with a total order (power desc, id asc) right below
+  std::vector<std::pair<OperatorId, double>> ranked(power_of_operator.begin(),
+                                                    power_of_operator.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;  // deterministic tie-break

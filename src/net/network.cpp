@@ -97,6 +97,7 @@ void SimNetwork::broadcast(NodeId from, const Envelope& envelope,
   if (broadcast_order_stale_) {
     broadcast_order_.clear();
     broadcast_order_.reserve(handlers_.size());
+    // findep-lint: allow(unordered-iteration) -- collect-only walk; the snapshot is sorted by NodeId two lines below
     for (const auto& [node, handler] : handlers_) {
       broadcast_order_.push_back(node);
     }

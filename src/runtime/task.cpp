@@ -118,6 +118,18 @@ class JsonReader {
   }
 
   Json parse_value() {
+    // Depth bound (found by tests/fuzz_task_json): without it, a line of
+    // a few hundred kilobytes of '[' recurses the parser off the stack.
+    // The wire schema nests 3 levels deep; 64 is far beyond any legal
+    // document and still at most a few dozen stack frames.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    Json v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  Json parse_value_inner() {
     const char c = peek();
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -260,8 +272,11 @@ class JsonReader {
     }
   }
 
+  static constexpr int kMaxDepth = 64;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 Json parse_json(const std::string& text) { return JsonReader(text).parse(); }

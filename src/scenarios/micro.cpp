@@ -1,5 +1,6 @@
 #include "scenarios/micro.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -21,8 +22,11 @@ namespace findep::scenarios {
 
 namespace {
 
-/// Keeps a value observable so the measured loop cannot be elided.
-volatile std::uint64_t g_micro_sink = 0;
+/// Keeps a value observable so the measured loop cannot be elided. The
+/// sweep pool times ops on several threads at once, so the sink must be
+/// atomic (relaxed is enough — the value is never read back, it only has
+/// to count as an observable side effect).
+std::atomic<std::uint64_t> g_micro_sink{0};
 
 struct OpResult {
   std::size_t iterations = 0;
@@ -39,7 +43,7 @@ OpResult time_op(std::size_t iterations, Body&& body) {
     result.checksum ^= body(i);
   }
   const auto stop = std::chrono::steady_clock::now();
-  g_micro_sink = result.checksum;
+  g_micro_sink.store(result.checksum, std::memory_order_relaxed);
   result.seconds = std::chrono::duration<double>(stop - start).count();
   return result;
 }

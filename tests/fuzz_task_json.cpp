@@ -1,0 +1,95 @@
+// libFuzzer harness for the runtime/task.{h,cpp} mini JSON reader — the
+// distributed-sweep wire parser. A worker feeds it every line of stdin,
+// and a merge feeds it every line of every shard file, so hostile or
+// corrupted input must land in exactly one of two places: a parsed value
+// or a std::invalid_argument. Anything else — a crash, a hang, unbounded
+// recursion, an uncaught exception of another type — is a finding.
+//
+// Build (clang only):
+//   CC=clang CXX=clang++ cmake -B build-fuzz -S . -DFINDEP_FUZZ=ON
+//   cmake --build build-fuzz -j --target fuzz_task_json
+// Seed + run (see README "Fuzzing the task wire format"):
+//   ./build-fuzz/fuzz/fuzz_task_json -max_total_time=60 corpus/
+//
+// Beyond "don't crash", the harness checks the serializer/parser pair:
+// any value that parses must re-serialize to a *fixed point* —
+// to_json(parse(x)) itself parses, and re-serializing THAT yields the
+// same bytes. The distributed merge relies on exactly this property for
+// shard byte-identity.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/task.h"
+
+namespace {
+
+using findep::runtime::MetricRecord;
+using findep::runtime::ParamSet;
+using findep::runtime::ParamValue;
+using findep::runtime::RunRecord;
+using findep::runtime::TaskResult;
+using findep::runtime::TaskSpec;
+
+/// Fails loudly (libFuzzer treats abort as a crash) when a round-trip
+/// property breaks.
+void require(bool ok, const char* what) {
+  if (!ok) {
+    __builtin_trap();
+    (void)what;
+  }
+}
+
+template <typename Parse, typename Serialize>
+void probe(const std::string& text, Parse parse, Serialize serialize) {
+  try {
+    auto value = parse(text);
+    // Fixed point: the serialized form must parse, and re-serializing
+    // the re-parse must reproduce the same bytes.
+    const std::string once = serialize(value);
+    auto reparsed = parse(once);
+    require(serialize(reparsed) == once, "serializer not a fixed point");
+  } catch (const std::invalid_argument&) {
+    // The documented failure mode for malformed input.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::task_spec_from_json(t);
+        },
+        [](const TaskSpec& v) { return findep::runtime::to_json(v); });
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::task_result_from_json(t);
+        },
+        [](const TaskResult& v) { return findep::runtime::to_json(v); });
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::param_value_from_json(t);
+        },
+        [](const ParamValue& v) { return findep::runtime::to_json(v); });
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::param_set_from_json(t);
+        },
+        [](const ParamSet& v) { return findep::runtime::to_json(v); });
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::metric_record_from_json(t);
+        },
+        [](const MetricRecord& v) { return findep::runtime::to_json(v); });
+  probe(text,
+        [](const std::string& t) {
+          return findep::runtime::run_record_from_json(t);
+        },
+        [](const RunRecord& v) { return findep::runtime::to_json(v); });
+  return 0;
+}

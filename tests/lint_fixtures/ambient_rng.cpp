@@ -1,0 +1,19 @@
+// Fixture: ambient-rng rule. Deliberate violations.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned violations(std::uint64_t seed) {
+  const int a = rand();                  // line 8: ambient global RNG
+  std::random_device entropy;            // line 9: entropy outside seeds
+  std::mt19937 unseeded;                 // line 10: fixed default seed
+  std::mt19937 temp = std::mt19937();    // line 11: default-constructed
+  std::mt19937 seeded(seed);             // clean: seeded from the chain
+  std::mt19937 braced{seed};             // clean: seeded from the chain
+  return a + entropy() + unseeded() + temp() + seeded() + braced();
+}
+
+unsigned clean_reference_param(std::mt19937& rng) { return rng(); }
+
+}  // namespace fixture

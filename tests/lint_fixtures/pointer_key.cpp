@@ -1,0 +1,19 @@
+// Fixture: pointer-keyed-container rule. Deliberate violations.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+std::map<Node*, int> by_node;          // line 13: pointer key
+std::set<const Node*> visited;         // line 14: pointer key
+std::unordered_set<int*> raw_ints;     // line 15: pointer key
+std::map<std::string, Node*> by_name;  // clean: pointer VALUE is fine
+std::set<int> plain;                   // clean
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: suppression mechanics — honored, malformed, wrong-rule,
+// unused.
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> table;
+
+double cases() {
+  double total = 0.0;
+
+  // findep-lint: allow(wall-clock) -- fixture: sanctioned measured-timing read
+  const auto honored = std::chrono::steady_clock::now();
+
+  // findep-lint: allow(wall-clock)
+  const auto missing_why = std::chrono::steady_clock::now();  // line 17
+
+  // findep-lint: allow(unordered-iteration) -- wrong rule for this line
+  const auto wrong_rule = std::chrono::steady_clock::now();  // line 20
+
+  // findep-lint: allow(no-such-rule) -- rule name does not exist
+  const auto unknown_rule = std::chrono::steady_clock::now();  // line 23
+
+  // findep-lint: allow(ambient-rng) -- fixture: nothing to suppress here (stale)
+  total += 1.0;
+
+  total += std::chrono::duration<double>(honored - missing_why).count();
+  total += std::chrono::duration<double>(wrong_rule - unknown_rule).count();
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: uninit-member rule. Passed to run_lint with this file on the
+// uninit-member file list and `SeqNum` as a scalar alias.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+using SeqNum = std::uint64_t;
+
+struct WireMessage {
+  std::uint64_t id;            // line 14: scalar, no initializer
+  SeqNum seq;                  // line 15: scalar alias, no initializer
+  double weight;               // line 16: scalar, no initializer
+  std::uint64_t ok_zero = 0;   // clean: initialized
+  bool ok_braced{};            // clean: brace-initialized
+  std::string name;            // clean: class type default-constructs
+  std::vector<int> payload;    // clean: class type
+
+  std::uint64_t total() const { return id + seq + ok_zero; }
+};
+
+struct Nested {
+  struct Inner {
+    std::uint32_t tag;  // line 27: nested wire struct, still checked
+  };
+  Inner inner;  // clean: class type
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: unordered-iteration rule. Deliberate violations.
+#include "unordered_iter.h"
+
+#include <numeric>
+
+namespace fixture {
+
+int Holder::drain() {
+  int total = 0;
+  for (const auto& [id, value] : pending_) {  // line 10: range-for
+    total += value;
+  }
+  for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // line 13
+    total += it->second ? 1 : 0;
+  }
+  for (const int v : ordered_) total += v;  // vector: clean
+  // findep-lint: allow(unordered-iteration) -- fixture: order-insensitive integer fold
+  for (const auto& [id, value] : pending_) total += value;
+  // lookups and membership tests are clean: no iteration involved
+  total += static_cast<int>(pending_.count(0));
+  return total;
+}
+
+}  // namespace fixture

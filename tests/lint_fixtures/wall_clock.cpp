@@ -1,0 +1,26 @@
+// Fixture: wall-clock rule. Deliberate violations — this directory is
+// excluded from the lint_tree gate and scanned only by test_lint.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+struct FakeSim {
+  double time_ = 0.0;
+  // findep-lint: allow(wall-clock) -- simulated-time accessor happens to be named time(); declaration, not a clock read
+  double time() const { return time_; }
+};
+
+double violations() {
+  const auto a = std::chrono::steady_clock::now();           // line 15
+  const auto b = std::chrono::system_clock::now();           // line 16
+  const auto c = std::chrono::high_resolution_clock::now();  // line 17
+  const std::time_t d = std::time(nullptr);                  // line 18
+  FakeSim sim;
+  const double ok = sim.time();  // member access: clean, no suppression
+  return static_cast<double>(d) + ok +
+         std::chrono::duration<double>(a - b).count() +
+         std::chrono::duration<double>(c.time_since_epoch()).count();
+}
+
+}  // namespace fixture

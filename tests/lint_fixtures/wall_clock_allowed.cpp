@@ -1,0 +1,14 @@
+// Fixture: wall-clock allowlist. This file is passed to run_lint with an
+// allowlist entry naming it, so the clock reads below must NOT be
+// reported (measured-timing scenarios are the sanctioned use).
+#include <chrono>
+
+namespace fixture {
+
+double measured_timing() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace fixture

@@ -76,6 +76,17 @@ TEST(ParamValueJson, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(ParamValueJson, RejectsDeeplyNestedInput) {
+  // The reader bounds recursion depth (found by tests/fuzz_task_json):
+  // a pathological run of '[' must raise invalid_argument, not overflow
+  // the stack. Depth 63 still parses as a (shape-invalid) value; 4096
+  // blows past the bound.
+  const std::string deep(4096, '[');
+  EXPECT_THROW((void)param_set_from_json(deep), std::invalid_argument);
+  const std::string near = std::string(63, '[') + std::string(63, ']');
+  EXPECT_THROW((void)param_value_from_json(near), std::invalid_argument);
+}
+
 TEST(ParamSetJson, RoundTripsMixedTypesInOrder) {
   ParamSet params;
   params.set("n", ParamValue(std::int64_t{7}));
