@@ -1,0 +1,77 @@
+// campaign — declarative fault-injection campaigns over the scenario
+// catalog.
+//
+//   campaign                               # default grid (every target ×
+//                                          # every fault × two rates)
+//   campaign --spec nightly.spec           # axis overrides from a file
+//   campaign --set fault=crash,collude     # ... or straight from the CLI
+//   campaign --spec s.spec --emit-tasks    # shard cells across workers
+//   campaign --worker < shard > r1.jsonl
+//   campaign --merge r1.jsonl r2.jsonl     # byte-identical to in-process
+//   campaign --report r1.jsonl r2.jsonl    # outcome rates per faulted
+//                                          # component kind / target / fault
+//
+// A spec file lowers to the exact `--set` overrides the CLI takes (see
+// campaign/spec.h for the format), so every execution path — in-process,
+// sharded, spec-driven or flag-driven — expands cells through the same
+// registry pipeline. The reporter runs strictly downstream of the result
+// shards and never perturbs the byte-identity contract.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/report.h"
+#include "campaign/spec.h"
+#include "runtime/registry.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+
+  // --report consumes the rest of the command line as shard paths.
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--report") {
+      const std::vector<std::string> paths(args.begin() +
+                                               static_cast<long>(i) + 1,
+                                           args.end());
+      if (paths.empty()) {
+        std::cerr << "usage: campaign --report RESULTS.jsonl...\n";
+        return 2;
+      }
+      return findep::campaign::report_main(paths, std::cout, std::cerr);
+    }
+  }
+
+  findep::campaign::CampaignSpec spec;
+  std::vector<const char*> forwarded;
+  forwarded.push_back(argv[0]);
+  bool cli_seeds = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--spec") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "campaign: --spec needs a file argument\n";
+        return 2;
+      }
+      try {
+        spec = findep::campaign::load_campaign_spec(args[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "campaign: " << e.what() << "\n";
+        return 2;
+      }
+      continue;
+    }
+    if (args[i] == "--seeds") cli_seeds = true;
+    forwarded.push_back(args[i].c_str());
+  }
+  // The spec's seed count applies unless the CLI pins its own.
+  std::string spec_seeds;
+  if (spec.seeds.has_value() && !cli_seeds) {
+    spec_seeds = std::to_string(*spec.seeds);
+    forwarded.push_back("--seeds");
+    forwarded.push_back(spec_seeds.c_str());
+  }
+  return findep::runtime::run_families_main(
+      static_cast<int>(forwarded.size()), forwarded.data(), {"campaign"},
+      "campaign: declarative fault-injection campaigns (cells = target "
+      "fleet x fault kind x rate)",
+      spec.overrides);
+}

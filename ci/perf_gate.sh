@@ -1,21 +1,26 @@
 #!/usr/bin/env sh
 # Hard performance gate for CI (and local use).
 #
-# Runs the measured `micro` family and the deterministic `bft_batching`
-# and `bft_churn` families through findep-bench and compares against
-# ci/micro_baseline.csv:
+# Runs the measured `micro` family and the deterministic `bft_batching`,
+# `bft_churn` and `campaign` families through findep-bench and compares
+# against ci/micro_baseline.csv:
 #
 #   kind=time   rows (micro ns_per_op): FAIL when the measured mean
 #               exceeds baseline x tolerance (default 1.5x — shared
 #               runners are noisy, so time baselines carry headroom).
-#   kind=count  rows (bft_batching messages-per-request counters and
-#               bft_churn committed_requests / stranded_replicas): FAIL
-#               on anything but exact equality of the printed value —
-#               these are seed-derived protocol counts, so any drift is a
-#               real behaviour change, not noise. The bft_churn
+#   kind=count  rows (bft_batching messages-per-request counters,
+#               bft_churn committed_requests / stranded_replicas, and the
+#               campaign outcome classification): FAIL on anything but
+#               exact equality of the printed value — these are
+#               seed-derived protocol counts, so any drift is a real
+#               behaviour change, not noise. The bft_churn
 #               stranded_replicas rows are the state-transfer invariant:
 #               0 with transfer enabled, the crashed count with it
-#               disabled (regression-pinned both ways).
+#               disabled (regression-pinned both ways). The campaign rows
+#               pin fault_detected / recovered / safety_violated per
+#               gated cell — including the paper's safety threshold (the
+#               above-third diverse collusion cell violates, the
+#               below-third lazarus one never does).
 #
 # A baselined row that disappears from the current run also fails (a
 # renamed scenario must be rebaselined deliberately, not silently).
@@ -99,6 +104,17 @@ if need "bft_churn/"; then
   awk -F, 'FNR > 1 && ($4 == "committed_requests" ||
                        $4 == "stranded_replicas") \
            {print $2 "," $4 "," $5}' "$tmp/churn.csv" \
+    >> "$tmp/current_count.csv"
+fi
+if need "campaign/"; then
+  # A 3-target x 3-fault slice of the campaign grid at one seed; the
+  # outcome classification of each cell is deterministic.
+  "$bench" --family campaign --set target=uniform,diverse,lazarus \
+    --set fault=crash,partition,collude --set rate=1 --seeds 1 \
+    --csv --out "$tmp/campaign.csv" > /dev/null
+  awk -F, 'FNR > 1 && ($4 == "fault_detected" || $4 == "recovered" ||
+                       $4 == "safety_violated") \
+           {print $2 "," $4 "," $5}' "$tmp/campaign.csv" \
     >> "$tmp/current_count.csv"
 fi
 

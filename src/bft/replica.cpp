@@ -107,6 +107,13 @@ void Replica::send_to(net::NodeId to, Payload payload) {
 }
 
 void Replica::on_message(const net::Message& raw) {
+  if (raw.corrupted) {
+    // In-flight bit flip: the signature check a real deployment runs over
+    // the wire bytes fails, so the message dies before any dispatch. The
+    // rejection is counted — observable detection of the fault.
+    ++corrupted_rejected_;
+    return;
+  }
   if (options_.behavior == Behavior::kSilent) return;
   const Envelope* env = raw.envelope.get<Envelope>();
   if (env == nullptr) return;  // foreign traffic
@@ -192,6 +199,12 @@ void Replica::submit(const Request& request) {
 
 void Replica::on_request(const Request& request, net::NodeId from) {
   if (request.id != 0 && executed_ids_.contains(request.id)) return;
+  if (options_.behavior == Behavior::kCensor && (request.id & 1) != 0) {
+    return;  // client-selective starvation: odd-id requests vanish here
+  }
+  if (!pending_requests_.contains(request.id)) {
+    track_request_deadline(request.id);
+  }
   pending_requests_[request.id] = request;
   arm_request_timer();
   if (in_view_change_) return;
@@ -263,10 +276,17 @@ void Replica::propose(Batch batch) {
     if (r.id != 0) assigned_[r.id] = seq;
   }
 
-  if (options_.behavior == Behavior::kEquivocate) {
+  if (options_.behavior == Behavior::kEquivocate ||
+      options_.behavior == Behavior::kCollude) {
     // Conflicting proposals: the real batch to the first half, a
-    // fabricated one (every request forged) to the second half. Neither
-    // half can reach a prepared certificate for a conflicting pair.
+    // fabricated one (every request forged) to the second half. A lone
+    // equivocator is harmless — neither half can reach a prepared
+    // certificate for a conflicting pair, because commit weight only
+    // comes from replicas that prepared that digest. A *colluding*
+    // primary additionally throws its own prepare + commit weight behind
+    // both digests (and colluding backups endorse whatever they hear),
+    // which is what makes conflicting certificates reachable once
+    // colluding power exceeds a third.
     Batch forged_batch;
     forged_batch.requests.reserve(batch.size());
     for (const Request& r : batch.requests) {
@@ -284,6 +304,10 @@ void Replica::propose(Batch batch) {
       if (r == id_) continue;
       send_to(r, r % 2 == 0 ? Payload{real} : Payload{fake});
     }
+    if (options_.behavior == Behavior::kCollude) {
+      collude_endorse(view_, seq, real.batch.digest());
+      collude_endorse(view_, seq, fake.batch.digest());
+    }
     return;  // the equivocator does not even convince itself
   }
 
@@ -292,6 +316,9 @@ void Replica::propose(Batch batch) {
 
 void Replica::on_preprepare(const PrePrepare& pp, ReplicaId from) {
   if (in_view_change_ || pp.view != view_) return;
+  if (options_.behavior == Behavior::kCollude) {
+    collude_endorse(pp.view, pp.seq, pp.batch.digest());
+  }
   if (from != primary_of(pp.view)) return;
   // Reject by our own execution horizon, not the stable checkpoint: a
   // lagging replica may adopt a *remote* stable checkpoint above its own
@@ -324,6 +351,7 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
   bool tracked = false;
   for (const Request& r : slot.batch.requests) {
     if (r.id != 0 && !executed_ids_.contains(r.id)) {
+      if (!pending_requests_.contains(r.id)) track_request_deadline(r.id);
       pending_requests_[r.id] = r;
       tracked = true;
     }
@@ -334,6 +362,9 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
 
 void Replica::on_prepare(const Prepare& p, ReplicaId from) {
   if (in_view_change_ || p.view != view_) return;
+  if (options_.behavior == Behavior::kCollude) {
+    collude_endorse(p.view, p.seq, p.request_digest);
+  }
   if (p.seq <= last_executed_) return;
   Slot& slot = slots_[p.seq];
   slot.prepare_votes[p.request_digest][from] = weight_of(from);
@@ -361,10 +392,31 @@ void Replica::maybe_prepared(SeqNum seq) {
 
 void Replica::on_commit(const Commit& c, ReplicaId from) {
   if (in_view_change_ || c.view != view_) return;
+  if (options_.behavior == Behavior::kCollude) {
+    collude_endorse(c.view, c.seq, c.request_digest);
+  }
   if (c.seq <= last_executed_) return;
   Slot& slot = slots_[c.seq];
   slot.commit_votes[c.request_digest][from] = weight_of(from);
   maybe_committed(c.seq);
+}
+
+void Replica::collude_endorse(View v, SeqNum seq,
+                              const crypto::Digest& digest) {
+  FINDEP_ASSERT(options_.behavior == Behavior::kCollude);
+  if (v != view_ || in_view_change_) return;
+  if (seq <= last_executed_) return;
+  // Lend full weight to every digest exactly once: prepare and commit
+  // with no conflict check, the classic vote-for-everything strategy.
+  // The endorse set is pruned with slots_ when checkpoints advance.
+  auto& endorsed = colluded_[seq];
+  if (std::find(endorsed.begin(), endorsed.end(), digest) !=
+      endorsed.end()) {
+    return;
+  }
+  endorsed.push_back(digest);
+  broadcast(Prepare{v, seq, digest});
+  broadcast(Commit{v, seq, digest});
 }
 
 void Replica::maybe_committed(SeqNum seq) {
@@ -404,22 +456,19 @@ void Replica::execute_ready() {
       executed_.push_back(ExecutedEntry{last_executed_, r});
     }
   }
+  (void)before;
   if (pending_requests_.empty()) {
+    // Fully drained: drop the timer and the (all-dead) deadline queue.
     disarm_request_timer();
-  } else if (last_executed_ != before) {
-    // Execution progress resets the liveness timer. The timer is armed
-    // when the pending set becomes non-empty and used to stay armed
-    // until the set fully drained — under sustained load the set never
-    // empties even though every individual request commits promptly, so
-    // the stale timer fired a spurious view change every
-    // request_timeout, cluster-wide. A view change is only warranted
-    // after request_timeout with *no* progress at all. (Trade-off,
-    // documented in DESIGN.md: a primary serving some requests while
-    // starving others indefinitely is not detected by this reset; the
-    // repo's workloads have no client-selective starvation.)
-    disarm_request_timer();
-    arm_request_timer();
+    request_deadlines_.clear();
   }
+  // Otherwise the armed timer stays put. Each request carries its own
+  // arrival-based deadline, so progress on *other* requests neither
+  // resets nor extends a pending one — a primary serving some clients
+  // while starving another is detected within one request_timeout
+  // (previously documented as the starvation caveat: the old single
+  // timer reset on any progress). Executed ids are popped from the
+  // deadline queue lazily, by the timer callback.
   maybe_checkpoint();
 }
 
@@ -496,6 +545,7 @@ void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from,
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= prune_to ? slots_.erase(it) : std::next(it);
   }
+  colluded_.erase(colluded_.begin(), colluded_.upper_bound(prune_to));
   for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
     it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
                                          : std::next(it);
@@ -506,16 +556,66 @@ void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from,
 
 // --- timers ----------------------------------------------------------------
 
+void Replica::track_request_deadline(std::uint64_t request_id) {
+  // Called exactly when `request_id` first enters pending_requests_, so
+  // deadlines are arrival-ordered and nondecreasing: the front of the
+  // deque is always the earliest live deadline. Retransmissions do not
+  // reach here (the caller guards on !contains), so a retried request
+  // keeps its original deadline instead of being silently extended.
+  request_deadlines_.emplace_back(
+      network_->simulator().now() + options_.request_timeout, request_id);
+}
+
+void Replica::refresh_request_deadlines() {
+  // A view change is a cluster-wide progress event: every still-pending
+  // request gets a fresh grace period under the new primary. Deadlines
+  // are rewritten in place — the deque stays arrival-ordered and all
+  // entries share one timestamp, so the nondecreasing invariant holds.
+  const double deadline =
+      network_->simulator().now() + options_.request_timeout;
+  for (auto& entry : request_deadlines_) entry.first = deadline;
+}
+
 void Replica::arm_request_timer() {
   if (options_.behavior == Behavior::kSilent) return;
-  if (request_timer_.has_value() || pending_requests_.empty()) return;
-  request_timer_ = network_->simulator().schedule_after(
-      options_.request_timeout, [this] {
+  // Lazily shed entries whose request already executed (or was never
+  // tracked locally): the deadline queue is append-only on arrival, so
+  // the front may be stale.
+  while (!request_deadlines_.empty() &&
+         !pending_requests_.contains(request_deadlines_.front().second)) {
+    request_deadlines_.pop_front();
+  }
+  if (request_timer_.has_value() || request_deadlines_.empty()) return;
+  const double wait = std::max(
+      0.0, request_deadlines_.front().first - network_->simulator().now());
+  request_timer_ =
+      network_->simulator().schedule_after(wait, [this] {
         request_timer_.reset();
-        if (!pending_requests_.empty() && !in_view_change_) {
-          start_view_change(view_ + 1);
-        }
+        request_timer_fired();
       });
+}
+
+void Replica::request_timer_fired() {
+  while (!request_deadlines_.empty() &&
+         !pending_requests_.contains(request_deadlines_.front().second)) {
+    request_deadlines_.pop_front();
+  }
+  if (request_deadlines_.empty()) return;
+  if (in_view_change_) return;  // install_new_view refreshes and re-arms
+  // Epsilon absorbs the float roundoff of scheduling `deadline - now`
+  // relative to a moved `now`; deadlines are seconds-scale, so 1ns of
+  // slack cannot conflate two distinct timeouts.
+  if (request_deadlines_.front().first <=
+      network_->simulator().now() + 1e-9) {
+    // The front request outlived its own timeout — progress elsewhere
+    // does not excuse the primary (client-selective starvation is a
+    // fault, not a scheduling artifact).
+    start_view_change(view_ + 1);
+    return;
+  }
+  // The old front was shed above and a later deadline surfaced: re-arm
+  // for it. Never late, because deadlines are nondecreasing.
+  arm_request_timer();
 }
 
 void Replica::disarm_request_timer() {
@@ -769,6 +869,7 @@ void Replica::install_new_view(const NewView& nv) {
       send_to(primary_of(view_), *request);
     }
   }
+  refresh_request_deadlines();
   arm_request_timer();
   maybe_schedule_state_fetch();
 }
@@ -951,6 +1052,7 @@ void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= last_executed_ ? slots_.erase(it) : std::next(it);
   }
+  colluded_.erase(colluded_.begin(), colluded_.upper_bound(last_executed_));
   for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
     it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
                                          : std::next(it);
@@ -978,7 +1080,10 @@ void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
     disarm_request_timer();  // the adoption itself is execution progress
     execute_ready();
     replay_future_messages();
-    if (!pending_requests_.empty()) arm_request_timer();
+    // Catching up across the outage is cluster-wide progress for every
+    // request still pending here, same as a view change.
+    refresh_request_deadlines();
+    arm_request_timer();
   }
   // Still behind a credible horizon (e.g. the responder itself lagged)?
   // Go again.

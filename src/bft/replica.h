@@ -14,6 +14,17 @@
 //   kSilent     — never sends anything (fail-stop from the start).
 //   kEquivocate — as primary, proposes conflicting requests for the same
 //                 sequence number to different halves of the cluster.
+//   kCollude    — kEquivocate as primary, and additionally lends its
+//                 commit weight to *every* digest it hears of (prepare +
+//                 commit without conflict checks). A coalition of
+//                 colluders with power > 1/3 of the total can drive two
+//                 conflicting commit certificates through — the exact
+//                 safety threshold of the paper — whereas any weaker
+//                 coalition (and any number of plain equivocators)
+//                 cannot.
+//   kCensor     — as primary, silently ignores requests with odd ids
+//                 (a client-selective starvation attack: the cluster
+//                 keeps making progress on everything else).
 //
 // Checkpoint-anchored state transfer (DESIGN.md "State transfer"): a
 // replica that observes credible evidence of committed state above its
@@ -26,9 +37,11 @@
 // offline for many checkpoint intervals).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bft/messages.h"
@@ -42,6 +55,8 @@ enum class Behavior : std::uint8_t {
   kHonest,
   kSilent,
   kEquivocate,
+  kCollude,
+  kCensor,
 };
 
 struct ReplicaOptions {
@@ -154,6 +169,12 @@ class Replica {
   [[nodiscard]] std::uint64_t state_transfer_bytes() const noexcept {
     return state_transfer_bytes_;
   }
+  /// Messages rejected because they arrived corrupted (the simulated
+  /// equivalent of a signature-verification failure over flipped wire
+  /// bits). A nonzero count is direct evidence the fault was *detected*.
+  [[nodiscard]] std::uint64_t corrupted_rejected() const noexcept {
+    return corrupted_rejected_;
+  }
 
   [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
     return static_cast<ReplicaId>(v % weights_.size());
@@ -260,8 +281,19 @@ class Replica {
   [[nodiscard]] bool is_third(double weight) const noexcept {
     return weight > total_weight_ / 3.0;
   }
+  /// Registers a liveness deadline for a request id that just became
+  /// pending (no-op if one is already tracked — retransmissions must not
+  /// push a starved request's deadline back).
+  void track_request_deadline(std::uint64_t request_id);
+  /// Rebases every tracked deadline to now + request_timeout (view
+  /// installation and state-transfer adoption grant the new regime a
+  /// fresh timeout, as the single-timer design did).
+  void refresh_request_deadlines();
   void arm_request_timer();
   void disarm_request_timer();
+  void request_timer_fired();
+  /// kCollude: endorse (prepare + commit) a digest we heard of, once.
+  void collude_endorse(View v, SeqNum seq, const crypto::Digest& digest);
   void arm_viewchange_timer(View target);
   void disarm_viewchange_timer();
   void arm_batch_timer();
@@ -336,6 +368,18 @@ class Replica {
   /// yet (we lag behind a view change); replayed after installation.
   /// Replaces the retransmission machinery of a real deployment.
   std::vector<Envelope> future_messages_;
+
+  /// Per-request liveness deadlines in arrival order. Deadlines are
+  /// nondecreasing (every entry is its arm-time + request_timeout), so
+  /// one simulator timer armed for the front entry suffices; entries
+  /// whose request already executed are popped lazily. This is what
+  /// detects client-selective starvation: progress on *other* requests
+  /// never pushes a starved request's deadline back.
+  std::deque<std::pair<double, std::uint64_t>> request_deadlines_;
+  /// kCollude bookkeeping: digests already endorsed per seq (pruned with
+  /// slots_ at checkpoints).
+  std::map<SeqNum, std::vector<crypto::Digest>> colluded_;
+  std::uint64_t corrupted_rejected_ = 0;
 
   std::optional<sim::EventId> request_timer_;
   std::optional<sim::EventId> viewchange_timer_;

@@ -1,0 +1,60 @@
+#include "campaign/outcome.h"
+
+#include <algorithm>
+
+namespace findep::campaign {
+
+std::size_t unresolved_stragglers(const bft::BftCluster& cluster,
+                                  const FaultPlan& plan) {
+  if (plan.kind != FaultKind::kCrash) return cluster.stranded_replicas();
+  std::vector<bool> is_victim(cluster.size(), false);
+  for (const std::size_t r : plan.victims) is_victim[r] = true;
+  bft::SeqNum horizon = 0;
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    if (is_victim[r]) continue;
+    horizon = std::max(horizon, cluster.replica(r).last_executed());
+  }
+  std::size_t stragglers = 0;
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    if (is_victim[r]) continue;
+    if (cluster.replica(r).last_executed() < horizon) ++stragglers;
+  }
+  return stragglers;
+}
+
+Outcome classify_outcome(const bft::BftCluster& cluster,
+                         const FaultPlan& plan, std::size_t submitted) {
+  Outcome out;
+  out.submitted = submitted;
+  out.committed = cluster.completed_requests();
+  out.safety_violated = !cluster.logs_consistent();
+  out.liveness_stalled = out.committed < out.submitted;
+  out.state_transfers = cluster.state_transfers_completed();
+
+  std::vector<bool> is_victim(cluster.size(), false);
+  for (const std::size_t r : plan.victims) is_victim[r] = true;
+
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    const bft::Replica& replica = cluster.replica(r);
+    out.max_view_changes =
+        std::max(out.max_view_changes, replica.view_changes_started());
+    out.corrupted_rejected += replica.corrupted_rejected();
+    if (!is_victim[r] &&
+        (replica.view_changes_started() > 0 || replica.view() > 0)) {
+      out.detected = true;
+    }
+  }
+  if (out.corrupted_rejected > 0 || out.state_transfers > 0) {
+    out.detected = true;
+  }
+
+  out.recovered = !out.safety_violated && !out.liveness_stalled &&
+                  unresolved_stragglers(cluster, plan) == 0;
+  if (out.recovered) {
+    out.recovery_time_s =
+        std::max(0.0, cluster.last_completion_time() - plan.inject_at);
+  }
+  return out;
+}
+
+}  // namespace findep::campaign

@@ -1,0 +1,103 @@
+#include "campaign/target.h"
+
+#include <stdexcept>
+
+#include "config/catalog.h"
+#include "config/sampler.h"
+#include "diversity/manager.h"
+
+namespace findep::campaign {
+
+namespace {
+
+std::vector<diversity::ReplicaRecord> records_of(
+    const std::vector<config::ReplicaConfiguration>& configs) {
+  std::vector<diversity::ReplicaRecord> fleet;
+  fleet.reserve(configs.size());
+  for (const config::ReplicaConfiguration& cfg : configs) {
+    fleet.push_back(diversity::ReplicaRecord{cfg, 1.0, true});
+  }
+  return fleet;
+}
+
+std::vector<diversity::ReplicaRecord> sampled_fleet(double zipf_exponent,
+                                                    std::size_t n,
+                                                    support::Rng& rng) {
+  const config::ComponentCatalog catalog = config::standard_catalog();
+  config::SamplerOptions options;
+  options.zipf_exponent = zipf_exponent;
+  options.attestable_fraction = 0.5;
+  const config::ConfigurationSampler sampler(catalog, options);
+  return records_of(sampler.sample_population(rng, n));
+}
+
+std::vector<TargetFamily> make_target_families() {
+  std::vector<TargetFamily> families;
+  families.push_back(TargetFamily{
+      "uniform",
+      "monoculture: every replica runs one sampled configuration "
+      "(single fault domain)",
+      [](std::size_t n, support::Rng& rng) {
+        const config::ComponentCatalog catalog = config::standard_catalog();
+        const config::ConfigurationSampler sampler(catalog,
+                                                   config::SamplerOptions{});
+        const config::ReplicaConfiguration cfg = sampler.sample(rng);
+        return records_of(
+            std::vector<config::ReplicaConfiguration>(n, cfg));
+      }});
+  families.push_back(TargetFamily{
+      "diverse", "uniformly sampled components (zipf 0)",
+      [](std::size_t n, support::Rng& rng) {
+        return sampled_fleet(0.0, n, rng);
+      }});
+  families.push_back(TargetFamily{
+      "skewed", "popularity-skewed components (zipf 2)",
+      [](std::size_t n, support::Rng& rng) {
+        return sampled_fleet(2.0, n, rng);
+      }});
+  families.push_back(TargetFamily{
+      "lazarus",
+      "Lazarus-style round-robin assignment (adjacent replicas share "
+      "no component)",
+      [](std::size_t n, support::Rng&) {
+        const config::ComponentCatalog catalog = config::standard_catalog();
+        return records_of(
+            diversity::LazarusStyleAssigner(catalog).assign(n));
+      }});
+  return families;
+}
+
+}  // namespace
+
+const std::vector<TargetFamily>& target_families() {
+  static const std::vector<TargetFamily> families = make_target_families();
+  return families;
+}
+
+const TargetFamily* find_target_family(const std::string& name) {
+  for (const TargetFamily& family : target_families()) {
+    if (family.name == name) return &family;
+  }
+  return nullptr;
+}
+
+const TargetFamily& require_target_family(const std::string& name) {
+  const TargetFamily* family = find_target_family(name);
+  if (family == nullptr) {
+    std::string known;
+    for (const TargetFamily& f : target_families()) {
+      if (!known.empty()) known += ", ";
+      known += f.name;
+    }
+    throw std::invalid_argument("unknown campaign target '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return *family;
+}
+
+std::vector<diversity::ReplicaRecord> build_target_fleet(
+    const std::string& name, std::size_t n, support::Rng& rng) {
+  return require_target_family(name).build(n, rng);
+}
+
+}  // namespace findep::campaign

@@ -1,0 +1,52 @@
+// Campaign target families: named replica-fleet compositions a campaign
+// cell can aim faults at.
+//
+// A *target family* fixes how the cell's replica configurations are drawn
+// from the component catalog — the diversity profile under test. The four
+// registered families span the paper's spectrum: a monoculture (every
+// replica identical, one fault domain), sampled fleets at two popularity
+// skews (§IV's zipf model), and the Lazarus-style round-robin assigner.
+// Campaign rates and outcomes are then attributable to the *component*
+// that was faulted, which is exactly the per-component resilience view
+// the paper's safety condition reasons about.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diversity/analyzer.h"
+#include "support/rng.h"
+
+namespace findep::campaign {
+
+/// One registered fleet composition. `build` is deterministic in (n, rng):
+/// a campaign cell derives the rng from its cell seed, so the same cell
+/// always targets the same fleet no matter which worker runs it.
+struct TargetFamily {
+  std::string name;
+  std::string description;
+  std::function<std::vector<diversity::ReplicaRecord>(std::size_t n,
+                                                      support::Rng& rng)>
+      build;
+};
+
+/// All registered target families, in registration order (uniform,
+/// diverse, skewed, lazarus).
+[[nodiscard]] const std::vector<TargetFamily>& target_families();
+
+/// Returns nullptr when `name` is not registered.
+[[nodiscard]] const TargetFamily* find_target_family(const std::string& name);
+
+/// Like find_target_family, but throws std::invalid_argument (listing the
+/// registered names) instead of returning nullptr.
+[[nodiscard]] const TargetFamily& require_target_family(
+    const std::string& name);
+
+/// Builds the named fleet. Throws std::invalid_argument (listing the
+/// registered names) on an unknown family.
+[[nodiscard]] std::vector<diversity::ReplicaRecord> build_target_fleet(
+    const std::string& name, std::size_t n, support::Rng& rng);
+
+}  // namespace findep::campaign

@@ -46,6 +46,13 @@ void SimNetwork::send(NodeId from, NodeId to, Envelope envelope,
     return;
   }
 
+  if (!down_.empty() && (down_.contains(from) || down_.contains(to))) {
+    // A crashed node neither sends nor receives (the delivery-time check
+    // below covers messages already in flight when the target crashed).
+    ++stats_.messages_dropped;
+    return;
+  }
+
   if (from != to) {
     if (!partition_group_.empty()) {  // all nodes in group 0 otherwise
       const auto ga = partition_group_.find(from);
@@ -70,12 +77,22 @@ void SimNetwork::send(NodeId from, NodeId to, Envelope envelope,
     }
   }
 
+  bool corrupted = false;
+  if (corrupt_ && from != to && corrupt_(from, to)) {
+    corrupted = true;
+    ++stats_.messages_corrupted;
+  }
+
   const double latency = from == to ? 0.0 : sample_latency(from, to);
   // Capture by value: the handler table may change between schedule and
   // delivery, so we look the handler up again at delivery time. The
   // capture shares the envelope body, it does not copy it.
-  Message msg{from, to, bytes, std::move(envelope)};
+  Message msg{from, to, bytes, std::move(envelope), corrupted};
   sim_->schedule_after(latency, [this, msg = std::move(msg)]() mutable {
+    if (down_.contains(msg.to)) {
+      ++stats_.messages_dropped;  // crashed while the message was in flight
+      return;
+    }
     const auto it = handlers_.find(msg.to);
     if (it == handlers_.end() || !it->second) {
       ++stats_.messages_dropped;
@@ -114,5 +131,13 @@ void SimNetwork::set_partition_group(NodeId node, std::uint32_t group) {
 }
 
 void SimNetwork::heal_partitions() { partition_group_.clear(); }
+
+void SimNetwork::set_node_down(NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
 
 }  // namespace findep::net

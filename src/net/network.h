@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/envelope.h"
@@ -29,6 +30,11 @@ struct Message {
   NodeId to = 0;
   std::uint64_t bytes = 0;
   Envelope envelope;
+  /// Payload bits were flipped in flight (CorruptPolicy). The envelope
+  /// body itself is shared and never mutated; receivers model the
+  /// signature-verification failure a real deployment would hit and must
+  /// reject the message without dispatching it.
+  bool corrupted = false;
 };
 
 /// Latency/loss parameters.
@@ -47,6 +53,7 @@ struct TrafficStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_corrupted = 0;
   std::uint64_t bytes_sent = 0;
 };
 
@@ -58,6 +65,11 @@ class SimNetwork {
   using MessageFilter = std::function<bool(NodeId from, NodeId to)>;
   /// Extra one-way delay in seconds for a link (adversarial delay).
   using DelayPolicy = std::function<double(NodeId from, NodeId to)>;
+  /// Return true to flip payload bits in flight: the message is still
+  /// delivered, flagged `corrupted`, and the receiver rejects it as a
+  /// signature failure. Distinct from a drop — corruption is *observable*
+  /// at the receiver, which is what fault-detection experiments measure.
+  using CorruptPolicy = std::function<bool(NodeId from, NodeId to)>;
 
   SimNetwork(sim::Simulator& simulator, NetworkOptions options);
 
@@ -87,11 +99,25 @@ class SimNetwork {
   /// Returns every node to group 0.
   void heal_partitions();
 
+  /// Crashes (down = true) or restarts (down = false) a node. A down node
+  /// neither sends nor receives: sends are dropped at the source, and
+  /// in-flight messages addressed to it are dropped at delivery time —
+  /// exactly the window a real crash loses. The node's handler stays
+  /// attached, so a restart resumes delivery with no re-registration.
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool is_down(NodeId node) const {
+    return down_.contains(node);
+  }
+
   /// Installs an adversarial filter (nullptr clears).
   void set_filter(MessageFilter filter) { filter_ = std::move(filter); }
   /// Installs an adversarial delay policy (nullptr clears).
   void set_delay_policy(DelayPolicy policy) {
     delay_policy_ = std::move(policy);
+  }
+  /// Installs a corruption policy (nullptr clears).
+  void set_corrupt_policy(CorruptPolicy policy) {
+    corrupt_ = std::move(policy);
   }
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
@@ -111,8 +137,11 @@ class SimNetwork {
   std::vector<NodeId> broadcast_order_;
   bool broadcast_order_stale_ = true;
   std::unordered_map<NodeId, std::uint32_t> partition_group_;
+  /// Nodes currently crashed (lookup-only; never iterated).
+  std::unordered_set<NodeId> down_;
   MessageFilter filter_;
   DelayPolicy delay_policy_;
+  CorruptPolicy corrupt_;
   TrafficStats stats_;
 };
 

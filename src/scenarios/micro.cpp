@@ -116,6 +116,29 @@ OpResult run_op(const std::string& op, std::uint64_t seed) {
       return pops;
     });
   }
+  if (op == "sim_far_future_insert") {
+    // Insert-while-draining with every arrival far beyond the calendar
+    // window (the long-horizon timer pattern: mining schedules, epoch
+    // rotations). The year-wrapped layout links these modulo the ring in
+    // O(1); an engine that parks them in a side structure pays a
+    // log-depth push here and a migration later. ns_per_op is one far
+    // insert + one pop/execute.
+    sim::Simulator sim;
+    support::Rng rng(seed);
+    std::uint64_t pops = 0;
+    for (int i = 0; i < 16384; ++i) {
+      sim.schedule_after(rng.uniform(0.0, 1.0), [&pops] { ++pops; });
+    }
+    std::vector<double> gaps(8192);
+    for (double& d : gaps) d = rng.uniform(0.0, 1.0);
+    const std::size_t gmask = gaps.size() - 1;
+    return time_op(262144, [&, gmask](std::size_t i) {
+      // 1e6 s ahead of a sub-second-width calendar: always many laps out.
+      sim.schedule_after(1.0e6 + gaps[i & gmask], [&pops] { ++pops; });
+      sim.run(1);
+      return pops;
+    });
+  }
   if (op == "sim_timer_churn") {
     // The BFT request/batch-timer pattern: a live timer is cancelled and
     // re-armed on every executed request, and its captured state (here a
@@ -220,7 +243,8 @@ const runtime::ScenarioRegistration kMicro{{
     .grids = {runtime::ParamGrid{
         {"op", {"sha256_4k", "merkle_build_1k", "merkle_prove_1k",
                 "entropy_4k", "config_digest", "analyzer_n100",
-                "sim_schedule_pop", "sim_timer_churn", "sim_broadcast_100"}},
+                "sim_schedule_pop", "sim_timer_churn",
+                "sim_far_future_insert", "sim_broadcast_100"}},
     }},
     .factory =
         [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {

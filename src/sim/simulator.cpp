@@ -1,19 +1,19 @@
-// Calendar-queue implementation. The determinism argument, bucket-width
-// policy, and overflow handling are documented in DESIGN.md ("The event
-// engine"); the comments here cover only the local invariants.
+// Calendar-queue implementation. The determinism argument and the
+// bucket-width policy are documented in DESIGN.md ("The event engine");
+// the comments here cover only the local invariants.
 //
-// Structural invariants maintained between public calls:
-//   - every live event is either linked into exactly one bucket ring slot
-//     (state kBucket) or parked in the overflow heap (kOverflow);
-//   - a linked event's absolute bucket lies in [cur_bucket_, cur_bucket_
-//     + buckets): the cursor never passes a non-empty ring slot, and
-//     inserts below the cursor clamp to it, so each ring slot holds
-//     events of a single absolute bucket and the first non-empty slot at
-//     or after the cursor holds the global minimum;
-//   - bucket rings are sorted by (at, seq) — a strict total order because
-//     seq is unique — so the ring head is the bucket minimum;
-//   - overflow events sit at or beyond the window end, hence never
-//     before any bucketed event.
+// Structural invariants maintained between public calls (year-wrapped
+// layout: every live event is linked into ring slot bucket_of(at) & mask,
+// however many laps ahead that absolute bucket lies):
+//   - ring slot lists are sorted by (at, seq) — a strict total order
+//     because seq is unique — so a slot head is the slot minimum;
+//   - the cursor never passes a *due* head (absolute bucket <= cursor),
+//     so every event in a bucket strictly behind the cursor was clamped
+//     into the cursor's slot at insert time and is due the moment its
+//     slot is next visited;
+//   - hence the first scanned slot whose head is due holds the global
+//     minimum, and a full lap without a due head means every live event
+//     sits in its natural slot at least one circumference ahead.
 #include "sim/simulator.h"
 
 #include <algorithm>
@@ -63,26 +63,6 @@ std::uint32_t Simulator::grow_slab() {
   return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
-void Simulator::drain_overflow_into_window() {
-  const std::uint64_t window_end = cur_bucket_ + buckets_.size();
-  while (!overflow_.empty()) {
-    const OverflowEntry top = overflow_.front();
-    if (bucket_of(top.at) >= window_end) break;
-    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
-    overflow_.pop_back();
-    Slot& s = slab_[top.slot];
-    if (state_of(s) == kDeadOverflow) {
-      release_slot(top.slot);
-      continue;
-    }
-    FINDEP_ASSERT(state_of(s) == kOverflow && s.seq == top.seq);
-    std::uint64_t b = bucket_of(s.at);
-    if (b < cur_bucket_) b = cur_bucket_;
-    link_sorted(static_cast<std::uint32_t>(b & mask_), top.slot);
-    ++window_live_;
-  }
-}
-
 std::uint32_t Simulator::find_next() {
   FINDEP_ASSERT(live_ != 0);
   // Shrink lazily, and only when sparseness actually hurts: a calendar
@@ -93,37 +73,42 @@ std::uint32_t Simulator::find_next() {
       live_ * 4 < buckets_.size()) {
     rebuild();
   }
-  if (window_live_ == 0) {
-    // Every live event is parked in overflow: discard dead heap heads,
-    // then jump the window straight to the earliest live bucket instead
-    // of scanning potentially millions of empty ones.
-    while (!overflow_.empty() &&
-           state_of(slab_[overflow_.front().slot]) == kDeadOverflow) {
-      const std::uint32_t dead = overflow_.front().slot;
-      std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
-      overflow_.pop_back();
-      release_slot(dead);
-    }
-    FINDEP_ASSERT(!overflow_.empty());
-    const std::uint64_t b = bucket_of(overflow_.front().at);
-    if (b > cur_bucket_) cur_bucket_ = b;
-    drain_overflow_into_window();
-    FINDEP_ASSERT(window_live_ != 0);
-  }
+  std::uint64_t scanned = 0;
   for (;;) {
     const std::uint32_t head =
         buckets_[static_cast<std::size_t>(cur_bucket_ & mask_)].head;
-    if (head != kNil) return head;
+    // A head is due only when its absolute bucket has been reached —
+    // year-wrapped slots also hold events a lap (or more) ahead.
+    if (head != kNil && bucket_of(slab_[head].at) <= cur_bucket_) {
+      return head;
+    }
+    if (scanned++ > mask_) break;
     ++cur_bucket_;
     ++scan_debt_;
-    if (!overflow_.empty()) drain_overflow_into_window();
   }
+  // A full lap without a due head: no clamped events exist (a clamped
+  // event is due the moment its slot is visited), so every live event
+  // sits in its natural slot at least one circumference ahead. Jump the
+  // cursor straight to the earliest head instead of scanning.
+  std::uint32_t best = kNil;
+  for (const BucketEnds& ends : buckets_) {
+    if (ends.head == kNil) continue;
+    if (best == kNil) {
+      best = ends.head;
+      continue;
+    }
+    const Slot& a = slab_[ends.head];
+    const Slot& b = slab_[best];
+    if (a.at < b.at || (a.at == b.at && a.seq < b.seq)) best = ends.head;
+  }
+  FINDEP_ASSERT(best != kNil);
+  cur_bucket_ = bucket_of(slab_[best].at);
+  return best;
 }
 
 InlineCallback Simulator::extract(std::uint32_t idx) noexcept {
   Slot& s = slab_[idx];
   unlink(ring_of(s), idx);
-  --window_live_;
   --live_;
   ++s.gen;
   InlineCallback fn = std::move(fns_[idx]);
@@ -174,22 +159,19 @@ std::uint64_t Simulator::run_until(Time deadline) {
   FINDEP_REQUIRE(deadline >= now_);
   std::uint64_t executed = 0;
   while (live_ != 0) {
-    if (window_live_ == 0) {
-      // Peek the overflow minimum without jumping the cursor: if the
-      // next event is past the deadline, leave the window where future
-      // (pre-deadline-horizon) inserts will land unclamped.
-      while (!overflow_.empty() &&
-             state_of(slab_[overflow_.front().slot]) == kDeadOverflow) {
-        const std::uint32_t dead = overflow_.front().slot;
-        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
-        overflow_.pop_back();
-        release_slot(dead);
-      }
-      FINDEP_ASSERT(!overflow_.empty());
-      if (overflow_.front().at > deadline) break;
-    }
+    const std::uint64_t cursor_before = cur_bucket_;
     const std::uint32_t idx = find_next();
-    if (slab_[idx].at > deadline) break;
+    if (slab_[idx].at > deadline) {
+      // Rewind the scan so pre-deadline-horizon inserts keep landing in
+      // their natural slots instead of clamping into a far cursor slot.
+      // Safe bounds: never behind where the cursor has organically been
+      // (clamped slots stay reachable) and never past the probed head's
+      // bucket (which stays the scan minimum).
+      const std::uint64_t resume =
+          std::max(cursor_before, bucket_of(deadline));
+      if (resume < cur_bucket_) cur_bucket_ = resume;
+      break;
+    }
     execute(idx);
     ++executed;
   }
@@ -220,17 +202,7 @@ void Simulator::rebuild() {
   live.reserve(live_);
   for (std::uint32_t idx = 0;
        idx < static_cast<std::uint32_t>(slab_.size()); ++idx) {
-    switch (state_of(slab_[idx])) {
-      case kBucket:
-      case kOverflow:
-        live.push_back(idx);
-        break;
-      case kDeadOverflow:
-        release_slot(idx);
-        break;
-      case kFree:
-        break;
-    }
+    if (state_of(slab_[idx]) == kBucket) live.push_back(idx);
   }
   FINDEP_ASSERT(live.size() == live_);
 
@@ -269,12 +241,10 @@ void Simulator::rebuild() {
   buckets_.assign(n, BucketEnds{});
   mask_ = n - 1;
   grow_at_ = n < kMaxBuckets ? 2 * n : SIZE_MAX;
-  overflow_.clear();
-  window_live_ = 0;
   cur_bucket_ = bucket_of(live.empty() ? now_ : slab_[live.front()].at);
-  // Sorted re-placement makes every bucket link a tail append and every
-  // overflow push an O(1) heap append. Callbacks never move: only the
-  // 32-byte key records are re-linked.
+  // Sorted re-placement makes every bucket link a tail append (within a
+  // slot, later laps arrive after earlier ones). Callbacks never move:
+  // only the 32-byte key records are re-linked.
   for (const std::uint32_t idx : live) place(idx);
 }
 
@@ -286,7 +256,6 @@ Simulator::EngineStats Simulator::engine_stats() const noexcept {
   }
   st.buckets = buckets_.size();
   st.bucket_width = width_;
-  st.overflow = overflow_.size();
   st.rebuilds = rebuilds_;
   return st;
 }

@@ -8,9 +8,10 @@
 // The implementation is a self-resizing *calendar queue* over a slab of
 // generation-tagged event slots (see DESIGN.md, "The event engine"):
 //
-//   - events within the current bucket window live in per-bucket sorted
-//     intrusive lists; far-future events wait in a sorted overflow set
-//     and are pulled into buckets as the window advances;
+//   - every event links into the bucket ring modulo its size (the classic
+//     year-wrapped layout): a far-future arrival costs the same O(1) as a
+//     near-term one, and the pop scan simply skips heads whose absolute
+//     bucket is still ahead of the cursor;
 //   - event records are slab-allocated and recycled through a free list,
 //     so steady-state scheduling performs no allocation at all. The slab
 //     is split structure-of-arrays style: 32-byte key/link records that
@@ -130,7 +131,6 @@ class Simulator {
     std::size_t free_slots = 0;      ///< slots on the free list
     std::size_t buckets = 0;         ///< current calendar size
     double bucket_width = 0.0;       ///< seconds per bucket
-    std::size_t overflow = 0;        ///< entries parked beyond the window
     std::uint64_t rebuilds = 0;      ///< calendar resize/re-width count
   };
   [[nodiscard]] EngineStats engine_stats() const noexcept;
@@ -141,10 +141,8 @@ class Simulator {
   /// for the current event distribution.
   static constexpr std::size_t kWalkLimit = 32;
   enum SlotState : std::uint32_t {
-    kFree,          ///< on the free list
-    kBucket,        ///< linked into a calendar bucket
-    kOverflow,      ///< parked in the overflow set
-    kDeadOverflow,  ///< cancelled while in overflow; reclaimed lazily
+    kFree,    ///< on the free list
+    kBucket,  ///< linked into a calendar bucket (possibly laps ahead)
   };
 
   /// Key/link record of one event slot: exactly 32 bytes, two per cache
@@ -174,21 +172,6 @@ class Simulator {
     s.ring_state = (static_cast<std::uint32_t>(state) << kStateShift) | ring;
   }
 
-  /// Sorted set of events beyond the bucket window, min at the front
-  /// (binary heap ordered by (at, seq) — a deterministic total order).
-  struct OverflowEntry {
-    Time at;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-  struct OverflowLater {
-    bool operator()(const OverflowEntry& a,
-                    const OverflowEntry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   [[nodiscard]] std::uint64_t bucket_of(Time at) const noexcept;
   [[nodiscard]] std::uint32_t acquire_slot() {
     if (free_head_ != kNil) {
@@ -206,10 +189,7 @@ class Simulator {
   void place(std::uint32_t idx);
   void link_sorted(std::uint32_t ring, std::uint32_t idx);
   void unlink(std::uint32_t ring, std::uint32_t idx) noexcept;
-  /// Pulls due overflow entries into the window ending at
-  /// `cur_bucket_ + buckets`.
-  void drain_overflow_into_window();
-  /// Index of the earliest live event, advancing the window to its
+  /// Index of the earliest live event, advancing the cursor to its
   /// bucket. Requires has_pending(). Does not remove the event.
   [[nodiscard]] std::uint32_t find_next();
   /// Unlinks `idx` (a bucket head), retires its id and returns its
@@ -231,13 +211,11 @@ class Simulator {
   std::vector<InlineCallback> fns_;  ///< parallel to slab_
   std::uint32_t free_head_ = kNil;
   std::vector<BucketEnds> buckets_;
-  std::vector<OverflowEntry> overflow_;  // heap (OverflowLater)
   double width_ = 1.0;
   double inv_width_ = 1.0;        ///< 1/width_: bucket_of multiplies
   std::uint64_t cur_bucket_ = 0;  ///< absolute index of the scan cursor
   std::uint64_t mask_ = 0;        ///< bucket count - 1 (power of two)
   std::size_t live_ = 0;          ///< schedulable (non-cancelled) events
-  std::size_t window_live_ = 0;   ///< live events currently in buckets
   std::size_t grow_at_ = 0;       ///< live_ level that triggers a grow
   bool rebuild_pending_ = false;  ///< a sorted insert walked too far
   std::uint64_t scan_debt_ = 0;   ///< empty buckets scanned since rebuild
@@ -254,7 +232,7 @@ class Simulator {
 // The schedule/cancel fast path lives in the header so it compiles
 // straight into the caller (the templated schedule_at already does):
 // steady-state scheduling is a handful of inlined loads and stores, no
-// cross-TU call. The cold machinery (window advance, overflow drains,
+// cross-TU call. The cold machinery (cursor scans, far-future jumps,
 // rebuilds) stays in simulator.cpp.
 
 inline std::uint64_t Simulator::bucket_of(Time at) const noexcept {
@@ -290,7 +268,8 @@ inline void Simulator::link_sorted(std::uint32_t ring, std::uint32_t idx) {
   Slot& t = slab_[ends.tail];
   if (t.at < s.at || (t.at == s.at && t.seq < s.seq)) {
     // Fast path: FIFO workloads (equal timestamps always carry a larger
-    // seq) and overflow drains (heap pops ascend) append at the tail.
+    // seq) and rebuild re-placement (sorted ascending) append at the
+    // tail.
     s.prev = ends.tail;
     s.next = kNil;
     t.next = idx;
@@ -337,18 +316,19 @@ inline void Simulator::place(std::uint32_t idx) {
   Slot& s = slab_[idx];
   std::uint64_t b = bucket_of(s.at);
   if (b < cur_bucket_) {
-    // run_until may have advanced the cursor past bucket_of(now_);
-    // events scheduled behind the cursor clamp into its slot, where the
-    // sorted link keeps them ahead of everything later.
+    // Defensive: the cursor tracks bucket_of(now_) between public calls
+    // (run_until rewinds after a probe), so an insert at >= now_ cannot
+    // land behind it. If it ever does, clamping into the cursor slot is
+    // still correct — the sorted link keeps it ahead of everything later
+    // and the due check (absolute bucket <= cursor) fires on the next
+    // visit.
     b = cur_bucket_;
-  } else if (b - cur_bucket_ > mask_) {  // mask_ + 1 == buckets_.size()
-    set_state(s, kOverflow);
-    overflow_.push_back(OverflowEntry{s.at, s.seq, idx});
-    std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
-    return;
   }
+  // Year-wrapped layout: the link is modulo the ring no matter how far
+  // ahead `b` lies. A head whose absolute bucket is still ahead of the
+  // cursor is simply skipped by the pop scan, so a far-future insert
+  // costs the same O(1) as a near-term one.
   link_sorted(static_cast<std::uint32_t>(b & mask_), idx);
-  ++window_live_;
 }
 
 inline EventId Simulator::commit_schedule(std::uint32_t idx, Time at) {
@@ -370,21 +350,12 @@ inline bool Simulator::cancel(EventId id) {
   if (idx >= slab_.size()) return false;
   Slot& s = slab_[idx];
   if (s.gen != gen) return false;  // already fired, cancelled, or recycled
-  switch (state_of(s)) {
-    case kBucket:
-      unlink(ring_of(s), idx);
-      --window_live_;
-      ++s.gen;
-      release_slot(idx);  // destroys the captured closure state now
-      break;
-    case kOverflow:
-      ++s.gen;
-      fns_[idx].reset();  // the closure dies now; the heap entry is
-      set_state(s, kDeadOverflow);  // lazily reaped
-      break;
-    default:
-      return false;  // a free slot whose id was never issued
+  if (state_of(s) != kBucket) {
+    return false;  // a free slot whose id was never issued
   }
+  unlink(ring_of(s), idx);
+  ++s.gen;
+  release_slot(idx);  // destroys the captured closure state now
   --live_;
   return true;
 }

@@ -302,6 +302,116 @@ TEST(BftAdversarial, DuplicateRequestInBatchesExecutesOnce) {
   }
 }
 
+TEST(BftAdversarial, CensoringPrimaryCaughtDespiteSustainedProgress) {
+  // Client-selective starvation: the primary serves even-id requests
+  // promptly and silently drops odd-id ones. Even traffic keeps arriving
+  // faster than request_timeout, so a liveness timer that resets on *any*
+  // progress never fires and the censored clients starve forever — the
+  // exact hole the per-request deadlines close. Each pending request now
+  // carries its own arrival-based deadline, so the first odd request
+  // trips a view change within one request_timeout regardless of how
+  // much unrelated traffic commits, and the honest new primary re-drives
+  // everything.
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[0] = Behavior::kCensor;
+  BftCluster cluster(4, fast_options(34), behaviors);
+  std::size_t submitted = 0;
+  for (int wave = 0; wave < 10; ++wave) {
+    // submit() ids count up from 1: every wave is one censored (odd) and
+    // one served (even) request, 0.5 s apart — well inside the 0.8 s
+    // request_timeout, so the old any-progress reset would never expire.
+    cluster.submit();
+    cluster.submit();
+    submitted += 2;
+    cluster.run_for(0.5);
+  }
+  EXPECT_TRUE(cluster.run_until_executed(submitted, 60.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  bool evicted = false;
+  for (std::size_t i = 1; i < 4; ++i) {
+    evicted |= cluster.replica(i).view() > 0;
+  }
+  EXPECT_TRUE(evicted) << "censorship never triggered a view change";
+}
+
+TEST(BftAdversarial, ColludingCoalitionAboveThirdViolatesSafety) {
+  // The paper's safety threshold, demonstrated from the violating side:
+  // a colluding coalition holding > W/3 endorses *both* halves of an
+  // equivocation, handing each honest partition a full commit
+  // certificate for its own digest. Coalition: the primary (weight 2)
+  // plus backup 1 (weight 2) = 4 of W = 7 > W/3. The equivocation split
+  // sends the real batch to even ids {2, 4} and the forged one to odd
+  // ids {1, 3}; with coalition weight behind both digests, replicas
+  // {2, 4} commit the real batch while {3} commits the forged one.
+  std::vector<double> weights = {2.0, 2.0, 1.0, 1.0, 1.0};
+  std::vector<Behavior> behaviors = {Behavior::kCollude, Behavior::kCollude,
+                                     Behavior::kHonest, Behavior::kHonest,
+                                     Behavior::kHonest};
+  BftCluster cluster(weights, fast_options(35), behaviors);
+  cluster.submit();
+  cluster.run_for(30.0);
+  EXPECT_GE(cluster.max_honest_last_executed(), 1u);
+  EXPECT_FALSE(cluster.logs_consistent())
+      << "conflicting commit certificates should have diverged the logs";
+}
+
+TEST(BftAdversarial, ColludingCoalitionBelowThirdStaysSafe) {
+  // Same attack, coalition at exactly 1/4 < 1/3: endorsing both digests
+  // cannot complete a *conflicting certificate pair* (the two quorums
+  // would have to share honest weight — the c > W/3 derivation in
+  // replica.h). One half may still commit — with the colluder's weight a
+  // single digest can reach quorum, forged requests and all, stranding
+  // the other half's replica behind a conflicting prepared certificate —
+  // but that is a liveness wound, not a safety one: every client request
+  // still completes and no two honest logs ever disagree on a sequence
+  // number.
+  std::vector<Behavior> behaviors(4, Behavior::kHonest);
+  behaviors[0] = Behavior::kCollude;
+  BftCluster cluster(4, fast_options(36), behaviors);
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  cluster.run_for(90.0);
+  EXPECT_EQ(cluster.completed_requests(), 3u);
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
+TEST(BftAdversarial, CorruptedLinksAreRejectedAndCounted) {
+  // Bit-flips on one replica's inbound links: every corrupted delivery
+  // is rejected at the signature check and counted, never dispatched.
+  // The other three replicas carry consensus; the victim contributes
+  // nothing but stays safe.
+  BftCluster cluster(4, fast_options(37));
+  cluster.network().set_corrupt_policy(
+      [](net::NodeId, net::NodeId to) { return to == 2; });
+  for (int i = 0; i < 3; ++i) cluster.submit();
+  cluster.run_for(60.0);
+  EXPECT_GE(replicas_at(cluster, 3), 3u);
+  EXPECT_TRUE(cluster.logs_consistent());
+  EXPECT_GT(cluster.replica(2).corrupted_rejected(), 0u);
+  EXPECT_EQ(cluster.network().stats().messages_corrupted,
+            cluster.replica(2).corrupted_rejected());
+}
+
+TEST(BftAdversarial, CrashedNodeDropsTrafficUntilRestart) {
+  // set_node_down models a crash at the network layer: the node neither
+  // sends nor receives while down (including messages already in
+  // flight). With only 2 of 4 replicas up nothing can commit; restarting
+  // the crashed pair restores the quorum and the stalled request
+  // executes. The crashed replicas kept their in-memory state (this is
+  // the network hook, not a process restart), so no state transfer is
+  // required for them to rejoin.
+  BftCluster cluster(4, fast_options(38));
+  cluster.network().set_node_down(2, true);
+  cluster.network().set_node_down(3, true);
+  cluster.submit();
+  cluster.run_for(20.0);
+  EXPECT_EQ(cluster.min_honest_executed(), 0u);
+
+  cluster.network().set_node_down(2, false);
+  cluster.network().set_node_down(3, false);
+  EXPECT_TRUE(cluster.run_until_executed(1, 120.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+}
+
 TEST(BftAdversarial, LossyNetworkQuorumStillCommits) {
   // 20% uniform message loss: without retransmission/state transfer,
   // replicas that miss messages may lag with execution gaps (documented

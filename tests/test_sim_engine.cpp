@@ -1,11 +1,13 @@
 // Calendar-queue engine edges: slot-generation safety across recycling,
-// mass same-timestamp FIFO through bucket rebuilds, far-future overflow
-// parking, prompt destruction of cancelled closures, run()/run_until()
-// interleaving, and a randomized differential check against a naive
-// reference queue (same total order (at, seq), brute-force scan).
+// mass same-timestamp FIFO through bucket rebuilds, year-wrapped
+// far-future inserts, prompt destruction of cancelled closures,
+// run()/run_until() interleaving, and a randomized differential check
+// against a naive reference queue (same total order (at, seq),
+// brute-force scan).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -68,23 +70,48 @@ TEST(SimEngine, ExecutionDestroysCapturedStateAfterTheCall) {
   EXPECT_EQ(state.use_count(), 1) << "executed capture kept alive";
 }
 
-TEST(SimEngine, CancelledOverflowEventDropsClosureBeforeHeapCleanup) {
-  // Far-future events park in the overflow heap; cancelling one cannot
-  // unlink it O(1), but the closure (and its captures) must still die
-  // immediately — only the 24-byte heap entry lingers.
+TEST(SimEngine, CancelledFarFutureEventReleasesSlotImmediately) {
+  // Far-future events link into the year-wrapped ring like any other, so
+  // cancelling one is full O(1) pointer surgery: slot recycled and the
+  // closure (with its captures) destroyed on the spot.
   Simulator sim;
   const auto state = std::make_shared<int>(0);
   // Dense near-term events narrow the bucket width so the far event
-  // overflows the window.
+  // lands many ring laps ahead of the cursor.
   for (int i = 0; i < 256; ++i) {
     sim.schedule_at(1.0 + i * 1e-6, [] {});
   }
   const EventId far = sim.schedule_at(1e9, [state] { ++*state; });
   EXPECT_EQ(state.use_count(), 2);
   EXPECT_TRUE(sim.cancel(far));
-  EXPECT_EQ(state.use_count(), 1) << "overflow capture kept alive";
-  EXPECT_EQ(sim.run(), 256u);  // the dead entry never executes
+  EXPECT_EQ(state.use_count(), 1) << "far-future capture kept alive";
+  EXPECT_EQ(sim.run(), 256u);  // the cancelled event never executes
   EXPECT_EQ(*state, 0);
+}
+
+TEST(SimEngine, YearWrapInterleavesFarInsertsWhileDraining) {
+  // The insert-while-draining workload the year-wrapped layout exists
+  // for: every pop schedules a successor far beyond the calendar window.
+  // Each insert must stay O(1) (no parking structure) and the drain must
+  // still execute strictly in (at, seq) order across many ring laps.
+  Simulator sim;
+  std::vector<double> fired;
+  // Narrow the width with a dense near-term burst.
+  for (int i = 0; i < 512; ++i) {
+    sim.schedule_at(1.0 + i * 1e-6, [] {});
+  }
+  int hops = 0;
+  std::function<void()> rearm = [&] {
+    fired.push_back(sim.now());
+    if (++hops < 32) {
+      sim.schedule_after(1e7 + hops, [&] { rearm(); });
+    }
+  };
+  sim.schedule_after(1e7, [&] { rearm(); });
+  sim.run();
+  ASSERT_EQ(fired.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.executed_count(), 512u + 32u);
 }
 
 TEST(SimEngine, ReentrantScheduleAtNowRunsAfterQueuedTies) {
@@ -126,7 +153,7 @@ TEST(SimEngine, DifferentialAgainstNaiveReferenceQueue) {
   // 4k random schedule/cancel ops against a brute-force reference with
   // the same contract (total order by (at, seq), FIFO ties, O(n) scan):
   // the execution sequences must match exactly, across bucket growth,
-  // re-width rebuilds and overflow migration.
+  // re-width rebuilds and year-wrapped far-future laps.
   struct Ref {
     double at;
     std::uint64_t seq;
@@ -158,7 +185,7 @@ TEST(SimEngine, DifferentialAgainstNaiveReferenceQueue) {
       const double r = rng.uniform(0.0, 1.0);
       if (r < 0.55 || ref.empty()) {
         // Mixed horizon: mostly near-term, a tail of far-future events
-        // that must overflow the calendar window.
+        // that lands several ring laps beyond the cursor.
         const double horizon = rng.uniform(0.0, 1.0) < 0.9 ? 1.0 : 1e6;
         const double at = sim.now() + rng.uniform(0.0, horizon);
         const int tag = next_tag++;
