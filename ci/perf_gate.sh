@@ -26,15 +26,20 @@
 # renamed scenario must be rebaselined deliberately, not silently).
 #
 # usage: ci/perf_gate.sh [--update-baseline] [--tolerance X]
-#                        [--baseline FILE] [--only SUBSTR]
+#                        [--baseline FILE] [--only SUBSTR] [--list-rows]
 #                        path/to/findep-bench
 #
 # --only SUBSTR gates only baselined rows whose scenario name contains
 # SUBSTR (e.g. --only sim_ for the event-engine rows, --only bft_churn
 # for one family) and skips benchmarking families with no matching rows
 # — the local iterate-on-one-row loop drops from minutes to seconds.
-# Incompatible with --update-baseline (a partial rewrite would silently
-# drop every other row).
+# A SUBSTR that matches no baselined row is a hard failure (a typo'd
+# substring must not report a vacuous pass); use --list-rows to see what
+# can be matched. Incompatible with --update-baseline (a partial rewrite
+# would silently drop every other row).
+#
+# --list-rows prints every baselined scenario/metric/kind (filtered by
+# --only when given) and exits without benchmarking anything.
 #
 # --update-baseline rewrites the baseline from the current run. Count
 # rows are safe to take verbatim (deterministic); REVIEW the time rows
@@ -46,6 +51,7 @@ script_dir=$(dirname "$0")
 baseline="$script_dir/micro_baseline.csv"
 tolerance=1.5
 update=0
+list_rows=0
 only=""
 bench=""
 while [ $# -gt 0 ]; do
@@ -54,6 +60,7 @@ while [ $# -gt 0 ]; do
     --tolerance) shift; tolerance="$1" ;;
     --baseline) shift; baseline="$1" ;;
     --only) shift; only="$1" ;;
+    --list-rows) list_rows=1 ;;
     -*) echo "unknown flag '$1'" >&2; exit 2 ;;
     *) bench="$1" ;;
   esac
@@ -63,10 +70,27 @@ if [ "$update" = 1 ] && [ -n "$only" ]; then
   echo "--only cannot be combined with --update-baseline" >&2
   exit 2
 fi
+if [ "$list_rows" = 1 ]; then
+  awk -F, -v only="$only" \
+    'NR == 1 {print $1 "," $2 "," $3; next}
+     only == "" || index($1, only) {print $1 "," $2 "," $3}' "$baseline"
+  exit 0
+fi
 if [ -z "$bench" ]; then
   echo "usage: $0 [--update-baseline] [--tolerance X] [--baseline FILE]" \
        "path/to/findep-bench" >&2
   exit 2
+fi
+if [ -n "$only" ]; then
+  # A --only that selects nothing must fail loudly, not pass vacuously
+  # (the classic typo'd-substring green build).
+  if ! awk -F, -v only="$only" \
+      'NR > 1 && index($1, only) {found = 1} END {exit found ? 0 : 1}' \
+      "$baseline"; then
+    echo "FAIL --only '$only' matches no baselined row" \
+         "(run with --list-rows to see what can be matched)" >&2
+    exit 1
+  fi
 fi
 
 tmp=$(mktemp -d)
@@ -74,11 +98,15 @@ trap 'rm -rf "$tmp"' EXIT
 
 # With --only, a family is benchmarked only when the baseline holds a
 # matching row for it. The row prefix is the emitting family's scenario
-# namespace (the bft_batching family emits rows under bft_scaling/).
+# namespace (the bft_batching family emits rows under bft_scaling/);
+# the optional second argument further requires a substring anywhere in
+# the row, separating blocks that share a namespace (the batching rows
+# vs the modeled-crypto lane, both under bft_scaling/).
 need() {
   [ -z "$only" ] && return 0
-  awk -F, -v only="$only" -v prefix="$1" \
-    'NR > 1 && index($1, only) && index($1, prefix) == 1 {found = 1}
+  awk -F, -v only="$only" -v prefix="$1" -v req="${2:-}" \
+    'NR > 1 && index($1, only) && index($1, prefix) == 1 &&
+     (req == "" || index($0, req)) {found = 1}
      END {exit found ? 0 : 1}' "$baseline"
 }
 
@@ -90,12 +118,26 @@ if need "micro/"; then
   awk -F, 'FNR > 1 && $4 == "ns_per_op" {print $2 "," $4 "," $5}' \
     "$tmp/micro.csv" > "$tmp/current_time.csv"
 fi
-if need "bft_scaling/"; then
+if need "bft_scaling/" ",msgs"; then
   "$bench" --family bft_batching --seeds 2 --csv --out "$tmp/batching.csv" \
     > /dev/null
   awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
                        $4 == "msgs_per_committed_request") \
            {print $2 "," $4 "," $5}' "$tmp/batching.csv" \
+    >> "$tmp/current_count.csv"
+fi
+if need "bft_scaling/" " modeled"; then
+  # The multicore lane: modeled crypto cost over the {1,2,4,8}-worker
+  # grid. committed_requests pins that every cell still commits the full
+  # load; requests_per_second pins the exact simulated-clock throughput
+  # of every (n, workers) point — the scaling curve itself is the
+  # regression surface (a scheduling or cost-charging change shows up as
+  # a drifted count, not a noisy timing).
+  "$bench" --family bft_scaling --only modeled --seeds 1 \
+    --csv --out "$tmp/modeled.csv" > /dev/null
+  awk -F, 'FNR > 1 && ($4 == "committed_requests" ||
+                       $4 == "requests_per_second") \
+           {print $2 "," $4 "," $5}' "$tmp/modeled.csv" \
     >> "$tmp/current_count.csv"
 fi
 if need "bft_churn/"; then

@@ -199,6 +199,20 @@ std::uint64_t BftCluster::state_transfer_bytes() const {
   return sum;
 }
 
+std::uint64_t BftCluster::verify_tasks() const {
+  std::uint64_t sum = 0;
+  for (const auto& replica : replicas_) sum += replica->verify_tasks();
+  return sum;
+}
+
+std::uint64_t BftCluster::verify_dropped_stale() const {
+  std::uint64_t sum = 0;
+  for (const auto& replica : replicas_) {
+    sum += replica->verify_dropped_stale();
+  }
+  return sum;
+}
+
 double BftCluster::mean_latency() const {
   double sum = 0.0;
   std::size_t count = 0;

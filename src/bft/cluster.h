@@ -98,6 +98,13 @@ class BftCluster {
   /// StateResponse wire bytes received, summed over all replicas.
   [[nodiscard]] std::uint64_t state_transfer_bytes() const;
 
+  /// Verification tasks submitted to replica worker pools, summed over
+  /// all replicas (0 under crypto=free).
+  [[nodiscard]] std::uint64_t verify_tasks() const;
+
+  /// Pool tasks shed as stale, summed over all replicas.
+  [[nodiscard]] std::uint64_t verify_dropped_stale() const;
+
  private:
   void init(std::vector<double> weights, std::vector<Behavior> behaviors);
   void observe_executions();

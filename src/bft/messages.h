@@ -95,6 +95,8 @@ struct SignedCheckpoint {
 struct ExecutedEntry {
   SeqNum seq = 0;
   Request request;
+
+  bool operator==(const ExecutedEntry&) const = default;
 };
 
 /// A prepared certificate entry carried inside a view change: the replica

@@ -66,7 +66,12 @@ Replica::Replica(ReplicaId id, std::vector<double> weights,
   }
   FINDEP_REQUIRE_MSG(directory_[id_] == keys_.public_key(),
                      "key pair must match the directory entry");
+  FINDEP_REQUIRE(options_.crypto_workers >= 1);
   peer_claims_.assign(weights_.size(), 0);
+  if (!options_.cost_model.is_free()) {
+    verify_pool_ = std::make_unique<runtime::WorkerPool>(
+        network_->simulator(), options_.crypto_workers);
+  }
 }
 
 double Replica::weight_of(ReplicaId r) const {
@@ -94,16 +99,45 @@ void Replica::broadcast(Payload payload) {
   // One shared body for the whole fan-out (every replica is attached, so
   // the network broadcast reaches exactly the other replicas)...
   const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
-  network_->broadcast(id_, wire, bytes);
-  // ...then PBFT's "send to yourself" leg, sharing the same body.
-  network_->send(id_, id_, wire, bytes);
+  if (options_.cost_model.is_free()) {
+    network_->broadcast(id_, wire, bytes);
+    // ...then PBFT's "send to yourself" leg, sharing the same body.
+    network_->send(id_, id_, wire, bytes);
+    return;
+  }
+  // Modeled signing occupies the protocol core: back-to-back sends
+  // serialize behind the sign accumulator, and the wire only leaves once
+  // its signature is done. One signature covers the whole fan-out.
+  sim::Simulator& sim = network_->simulator();
+  sign_ready_at_ = std::max(sign_ready_at_, sim.now()) +
+                   options_.cost_model.sign_seconds();
+  sim.schedule_at(sign_ready_at_, [this, wire, bytes] {
+    network_->broadcast(id_, wire, bytes);
+    network_->send(id_, id_, wire, bytes);
+  });
 }
 
 void Replica::send_to(net::NodeId to, Payload payload) {
   if (options_.behavior == Behavior::kSilent) return;
   const std::uint64_t bytes = payload_wire_bytes(payload);
-  network_->send(id_, to, make_envelope(id_, keys_, std::move(payload)),
-                 bytes);
+  // Forwarding a client request is a relay of the client's own signed
+  // message, not a statement by this replica — a real deployment ships
+  // the client envelope through unchanged, so relays are never charged
+  // sign time (and must not serialize behind protocol sends: a backup
+  // relaying a big request burst would otherwise delay its own prepares
+  // by the whole burst's worth of signing).
+  const bool relay = std::holds_alternative<Request>(payload);
+  const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
+  if (options_.cost_model.is_free() || relay) {
+    network_->send(id_, to, wire, bytes);
+    return;
+  }
+  sim::Simulator& sim = network_->simulator();
+  sign_ready_at_ = std::max(sign_ready_at_, sim.now()) +
+                   options_.cost_model.sign_seconds();
+  sim.schedule_at(sign_ready_at_, [this, to, wire, bytes] {
+    network_->send(id_, to, wire, bytes);
+  });
 }
 
 void Replica::on_message(const net::Message& raw) {
@@ -121,13 +155,83 @@ void Replica::on_message(const net::Message& raw) {
   // (clients are outside the directory and allowed for Request only).
   const bool from_replica = env->sender < weights_.size();
   if (from_replica && directory_[env->sender] != env->sender_key) return;
-  if (!verify_envelope(*registry_, *env)) return;
+  if (verify_pool_ == nullptr || env->sender == id_) {
+    // crypto=free (no pool), or our own loopback leg — a replica does
+    // not re-verify its own signature, so the self-send stays on the
+    // historical inline path even under a modeled cost.
+    if (!verify_envelope(*registry_, *env)) return;
+    dispatch_payload(*env, raw.from, raw.bytes);
+    return;
+  }
+  offload_verify(raw, *env);
+}
 
+void Replica::offload_verify(const net::Message& raw, const Envelope& env) {
+  // Client requests are speculative: the protocol tolerates them late
+  // (they only seed batches), so quorum-forming consensus and recovery
+  // traffic always verifies first.
+  const runtime::TaskPriority priority =
+      std::holds_alternative<Request>(env.payload)
+          ? runtime::TaskPriority::kSpeculative
+          : runtime::TaskPriority::kCritical;
+  // Quorum proofs ride one envelope and are batch-verified: a NEW-VIEW
+  // carries its view-change quorum, a state response its checkpoint vote
+  // quorum. Everything else is one signature check.
+  double cost = options_.cost_model.verify_seconds();
+  if (const auto* nv = std::get_if<NewView>(&env.payload)) {
+    cost += options_.cost_model.batch_verify_seconds(nv->proofs.size());
+  } else if (const auto* resp = std::get_if<StateResponse>(&env.payload)) {
+    cost += options_.cost_model.batch_verify_seconds(resp->proof.size());
+  }
+  // Keep the shared envelope body alive until the completion runs; the
+  // completion re-reads it and takes the exact inline dispatch path.
+  net::Envelope keep = raw.envelope;
+  const net::NodeId from = raw.from;
+  const std::uint64_t bytes = raw.bytes;
+  verify_pool_->submit(
+      priority, cost, make_stale_check(env.payload),
+      [this, keep = std::move(keep), from, bytes](bool dropped) {
+        if (dropped) return;
+        const Envelope* env = keep.get<Envelope>();
+        FINDEP_ASSERT(env != nullptr);
+        if (!verify_envelope(*registry_, *env)) return;
+        dispatch_payload(*env, from, bytes);
+      });
+}
+
+runtime::WorkerPool::StaleCheck Replica::make_stale_check(
+    const Payload& payload) const {
+  // Only messages the handler would provably ignore are shed: normal-case
+  // traffic from views older than the installed one, and view-change /
+  // new-view traffic for views already installed. (Future-view traffic is
+  // NOT stale — dispatch buffers it for replay.) Checkpoints, requests
+  // and state transfer never expire.
+  return std::visit(
+      [this](const auto& m) -> runtime::WorkerPool::StaleCheck {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, PrePrepare> ||
+                      std::is_same_v<T, Prepare> ||
+                      std::is_same_v<T, Commit>) {
+          return [this, v = m.view] { return v < view_; };
+        } else if constexpr (std::is_same_v<T, ViewChange>) {
+          return [this, v = m.new_view] { return v <= view_; };
+        } else if constexpr (std::is_same_v<T, NewView>) {
+          return [this, v = m.view] { return v <= view_; };
+        } else {
+          return nullptr;
+        }
+      },
+      payload);
+}
+
+void Replica::dispatch_payload(const Envelope& env, net::NodeId raw_from,
+                               std::uint64_t raw_bytes) {
+  const bool from_replica = env.sender < weights_.size();
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, Request>) {
-          on_request(m, raw.from);
+          on_request(m, raw_from);
           return;
         } else {
           if (!from_replica) return;  // clients may only send requests
@@ -136,31 +240,31 @@ void Replica::on_message(const net::Message& raw) {
                         std::is_same_v<T, Commit>) {
             if (m.view > view_) {
               // We lag behind a view change; replay after installation.
-              future_messages_.push_back(*env);
+              future_messages_.push_back(env);
               return;
             }
           }
           if constexpr (std::is_same_v<T, PrePrepare>) {
-            on_preprepare(m, env->sender);
+            on_preprepare(m, env.sender);
           } else if constexpr (std::is_same_v<T, Prepare>) {
-            on_prepare(m, env->sender);
+            on_prepare(m, env.sender);
           } else if constexpr (std::is_same_v<T, Commit>) {
-            on_commit(m, env->sender);
+            on_commit(m, env.sender);
           } else if constexpr (std::is_same_v<T, Checkpoint>) {
-            on_checkpoint(m, env->sender, env->signature);
+            on_checkpoint(m, env.sender, env.signature);
           } else if constexpr (std::is_same_v<T, ViewChange>) {
-            on_viewchange(m, env->sender, env->signature);
+            on_viewchange(m, env.sender, env.signature);
           } else if constexpr (std::is_same_v<T, NewView>) {
-            on_newview(m, env->sender);
+            on_newview(m, env.sender);
           } else if constexpr (std::is_same_v<T, StateRequest>) {
-            on_state_request(m, env->sender);
+            on_state_request(m, env.sender);
           } else if constexpr (std::is_same_v<T, StateResponse>) {
-            state_transfer_bytes_ += raw.bytes;
-            on_state_response(m, env->sender);
+            state_transfer_bytes_ += raw_bytes;
+            on_state_response(m, env.sender);
           }
         }
       },
-      env->payload);
+      env.payload);
 }
 
 void Replica::replay_future_messages() {

@@ -39,13 +39,16 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "bft/messages.h"
+#include "crypto/cost.h"
 #include "net/network.h"
+#include "runtime/workers.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -102,6 +105,18 @@ struct ReplicaOptions {
   /// cluster seed.
   std::uint64_t rng_seed = 0x5eedb1f7;
   Behavior behavior = Behavior::kHonest;
+  /// Modeled CPU cost of the signature primitives. The default
+  /// (CostModel::free()) disables cost modeling entirely: no worker
+  /// pool is created, sends are not delayed, and runs are bit-identical
+  /// to the historical protocol. A non-free model (a) serializes sends
+  /// behind a per-replica signing accumulator and (b) offloads inbound
+  /// signature verification onto `crypto_workers` modeled cores
+  /// (runtime::WorkerPool) — consensus traffic at critical priority,
+  /// client requests speculative, dead-view work shed on dequeue.
+  crypto::CostModel cost_model{};
+  /// Modeled verification cores per replica (>= 1). Only read when
+  /// cost_model is non-free.
+  std::size_t crypto_workers = 1;
 };
 
 class Replica {
@@ -175,6 +190,22 @@ class Replica {
   [[nodiscard]] std::uint64_t corrupted_rejected() const noexcept {
     return corrupted_rejected_;
   }
+  /// Verification tasks submitted to the worker pool (0 under
+  /// crypto=free, which never builds a pool).
+  [[nodiscard]] std::uint64_t verify_tasks() const noexcept {
+    return verify_pool_ != nullptr ? verify_pool_->stats().submitted : 0;
+  }
+  /// Pool tasks shed by the stale check (dead-view traffic dropped at
+  /// dequeue without consuming worker time).
+  [[nodiscard]] std::uint64_t verify_dropped_stale() const noexcept {
+    return verify_pool_ != nullptr ? verify_pool_->stats().dropped_stale
+                                   : 0;
+  }
+  /// Modeled worker-occupancy seconds spent verifying.
+  [[nodiscard]] double verify_busy_seconds() const noexcept {
+    return verify_pool_ != nullptr ? verify_pool_->stats().busy_seconds
+                                   : 0.0;
+  }
 
   [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
     return static_cast<ReplicaId>(v % weights_.size());
@@ -207,6 +238,21 @@ class Replica {
 
   // --- dispatch ---------------------------------------------------------
   void on_message(const net::Message& raw);
+  /// The post-verification half of on_message: routes the payload to its
+  /// handler. Shared by the inline crypto=free path and the worker-pool
+  /// completion path, so offloading cannot drift from the historical
+  /// dispatch semantics.
+  void dispatch_payload(const Envelope& env, net::NodeId raw_from,
+                        std::uint64_t raw_bytes);
+  /// Modeled-crypto inbound path: queues envelope verification on the
+  /// worker pool (critical lane for consensus/recovery traffic,
+  /// speculative for client requests; dead-view work shed on dequeue)
+  /// and dispatches from the in-order completion.
+  void offload_verify(const net::Message& raw, const Envelope& env);
+  /// Stale predicate for a pool task carrying `payload`, or null when
+  /// the payload class never goes stale.
+  [[nodiscard]] runtime::WorkerPool::StaleCheck make_stale_check(
+      const Payload& payload) const;
   void on_request(const Request& request, net::NodeId from);
   void on_preprepare(const PrePrepare& pp, ReplicaId from);
   void on_prepare(const Prepare& p, ReplicaId from);
@@ -385,6 +431,15 @@ class Replica {
   std::optional<sim::EventId> viewchange_timer_;
   std::optional<sim::EventId> batch_timer_;
   bool started_ = false;
+
+  /// Modeled verification cores; null under crypto=free (the historical
+  /// inline path, bit-identical to pre-cost-model builds).
+  std::unique_ptr<runtime::WorkerPool> verify_pool_;
+  /// Signing accumulator: the simulated time at which the protocol core
+  /// finishes its last queued signature. Each send under a non-free cost
+  /// model is scheduled at max(now, sign_ready_at_) + sign_seconds, so
+  /// back-to-back sends serialize the way one signing core would.
+  double sign_ready_at_ = 0.0;
 };
 
 }  // namespace findep::bft

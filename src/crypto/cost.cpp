@@ -1,0 +1,14 @@
+#include "crypto/cost.h"
+
+#include <stdexcept>
+
+namespace findep::crypto {
+
+CostModel CostModel::parse(const std::string& name) {
+  if (name == "free") return free();
+  if (name == "modeled") return modeled();
+  throw std::invalid_argument("unknown crypto cost model '" + name +
+                              "' (expected free or modeled)");
+}
+
+}  // namespace findep::crypto

@@ -1,0 +1,106 @@
+#include "runtime/workers.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace findep::runtime {
+
+WorkerPool::WorkerPool(sim::Simulator& sim, std::size_t workers)
+    : sim_(&sim), busy_(workers, false), idle_(workers) {
+  FINDEP_REQUIRE_MSG(workers >= 1, "a pool needs at least one worker");
+}
+
+void WorkerPool::submit(TaskPriority priority, double cost_seconds,
+                        StaleCheck stale, Completion done) {
+  FINDEP_REQUIRE(cost_seconds >= 0.0);
+  FINDEP_REQUIRE(done != nullptr);
+  const auto lane_index = static_cast<std::size_t>(priority);
+  FINDEP_REQUIRE(lane_index < kPriorityLanes);
+  ++stats_.submitted;
+  lanes_[lane_index].pending.push_back(Task{
+      next_seq_++, cost_seconds, std::move(stale), std::move(done)});
+  pump();
+}
+
+std::size_t WorkerPool::queued() const noexcept {
+  std::size_t count = 0;
+  for (const Lane& lane : lanes_) count += lane.pending.size();
+  return count;
+}
+
+std::size_t WorkerPool::in_flight() const noexcept {
+  std::size_t count = 0;
+  for (const Lane& lane : lanes_) count += lane.in_flight.size();
+  return count;
+}
+
+void WorkerPool::pump() {
+  if (pumping_) return;  // fold re-entrant submits into the outer pump
+  pumping_ = true;
+  for (;;) {
+    // Highest-priority lane with queued work; drops do not need a
+    // worker, so the scan runs even when every worker is busy.
+    Lane* lane = nullptr;
+    for (Lane& candidate : lanes_) {
+      if (!candidate.pending.empty()) {
+        lane = &candidate;
+        break;
+      }
+    }
+    if (lane == nullptr) break;
+
+    if (lane->pending.front().stale && lane->pending.front().stale()) {
+      // Stale-drop on dequeue: no worker time, but the slot still
+      // completes in lane order (flagged), so the submitter's reorder
+      // expectations hold.
+      Task task = std::move(lane->pending.front());
+      lane->pending.pop_front();
+      ++stats_.dropped_stale;
+      lane->in_flight.push_back(
+          InFlight{task.seq, std::move(task.done), true, true});
+      flush(*lane);  // callbacks may submit; the outer loop re-scans
+      continue;
+    }
+
+    if (idle_ == 0) break;
+    const auto it = std::find(busy_.begin(), busy_.end(), false);
+    FINDEP_ASSERT(it != busy_.end());
+    const auto worker = static_cast<std::size_t>(it - busy_.begin());
+    Task task = std::move(lane->pending.front());
+    lane->pending.pop_front();
+    busy_[worker] = true;
+    --idle_;
+    stats_.busy_seconds += task.cost;
+    lane->in_flight.push_back(
+        InFlight{task.seq, std::move(task.done), false, false});
+    Lane* const lane_ptr = lane;
+    const std::uint64_t seq = task.seq;
+    sim_->schedule_after(task.cost, [this, worker, lane_ptr, seq] {
+      busy_[worker] = false;
+      ++idle_;
+      ++stats_.completed;
+      // Dispatch is lane-FIFO, so the entry sits at or near the front
+      // (behind at most the other in-flight entries of this lane).
+      const auto entry = std::find_if(
+          lane_ptr->in_flight.begin(), lane_ptr->in_flight.end(),
+          [seq](const InFlight& f) { return f.seq == seq; });
+      FINDEP_ASSERT(entry != lane_ptr->in_flight.end());
+      entry->finished = true;
+      flush(*lane_ptr);
+      pump();  // the freed worker can take the next queued task
+    });
+  }
+  pumping_ = false;
+}
+
+void WorkerPool::flush(Lane& lane) {
+  while (!lane.in_flight.empty() && lane.in_flight.front().finished) {
+    InFlight entry = std::move(lane.in_flight.front());
+    lane.in_flight.pop_front();
+    entry.done(entry.dropped);
+  }
+}
+
+}  // namespace findep::runtime

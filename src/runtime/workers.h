@@ -1,0 +1,126 @@
+// A modeled multicore worker pool over the deterministic simulator.
+//
+// One pool stands for the cores of a single replica: tasks (signature
+// verifications, in practice) are submitted with a priority and a
+// modeled CPU cost, occupy one of W simulated workers for exactly that
+// long, and complete through the simulator clock. The pool is *modeled*
+// compute, not OS threads — every state change happens inside simulator
+// events, so a sweep over worker counts is bit-reproducible and the
+// whole simulation stays a pure function of (program, seed) at any
+// `--threads` setting of the sweep runner.
+//
+// Semantics (the contract the differential test in tests/test_workers.cpp
+// pins against a serial reference):
+//
+//   - Two priority lanes: protocol-critical work always dequeues ahead
+//     of speculative work, regardless of submission interleaving.
+//   - Stale-drop on dequeue: a task whose `stale` predicate has become
+//     true by the time a worker would pick it up is dropped without
+//     consuming worker time (dsnet's taskqueue shape: verification of a
+//     message from a dead view is wasted work, shed at the latest
+//     possible moment).
+//   - Ordered completion *per lane*: results re-enter the submitter in
+//     submission order within their lane, no matter which worker ran
+//     them or how their costs interleaved. (Cross-lane reordering is the
+//     entire point of prioritization; within a lane, the reorder buffer
+//     keeps the protocol's message-arrival determinism.) Dropped tasks
+//     occupy their slot in the order too — they complete, flagged, in
+//     sequence.
+//   - Workers are picked lowest-index-first; dispatch is greedy. Both
+//     choices are arbitrary but fixed, which is all determinism needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace findep::runtime {
+
+/// Dequeue priority of a pool task. Lower value = served first.
+enum class TaskPriority : std::uint8_t {
+  kCritical = 0,     ///< protocol-critical: consensus and recovery traffic
+  kSpeculative = 1,  ///< speculative: work the protocol can tolerate late
+};
+inline constexpr std::size_t kPriorityLanes = 2;
+
+class WorkerPool {
+ public:
+  /// Returns true when the task is no longer worth running (checked at
+  /// dequeue, not submission).
+  using StaleCheck = std::function<bool()>;
+  /// Invoked exactly once per submitted task, in lane submission order;
+  /// `dropped` is true when the stale check shed the task.
+  using Completion = std::function<void(bool dropped)>;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;      ///< ran to completion (not dropped)
+    std::uint64_t dropped_stale = 0;  ///< shed by the stale check
+    /// Modeled worker-occupancy seconds summed over workers; divide by
+    /// (workers * span) for utilization.
+    double busy_seconds = 0.0;
+  };
+
+  /// `workers` >= 1 modeled cores on `sim`'s clock.
+  WorkerPool(sim::Simulator& sim, std::size_t workers);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues a task costing `cost_seconds` of one worker's time.
+  /// `stale` may be null (never stale). `done` must be non-null.
+  void submit(TaskPriority priority, double cost_seconds, StaleCheck stale,
+              Completion done);
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return busy_.size();
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Tasks queued behind the workers (submitted, not yet dispatched).
+  [[nodiscard]] std::size_t queued() const noexcept;
+  /// Tasks dispatched (or dropped) whose completion has not fired yet.
+  [[nodiscard]] std::size_t in_flight() const noexcept;
+
+ private:
+  struct Task {
+    std::uint64_t seq = 0;
+    double cost = 0.0;
+    StaleCheck stale;
+    Completion done;
+  };
+  /// One dispatched-or-dropped task awaiting its in-order completion.
+  struct InFlight {
+    std::uint64_t seq = 0;
+    Completion done;
+    bool dropped = false;
+    bool finished = false;
+  };
+  struct Lane {
+    std::deque<Task> pending;
+    /// Dispatch is lane-FIFO, so this deque is ordered by seq; the front
+    /// gates every completion behind it (the reorder buffer).
+    std::deque<InFlight> in_flight;
+  };
+
+  /// Greedy dispatch: fill idle workers from the highest-priority
+  /// non-empty lane until workers or work run out. Re-entrant calls
+  /// (a completion callback submitting new work) fold into the
+  /// outermost pump.
+  void pump();
+  /// Fires every in-order completion that is ready at the lane front.
+  void flush(Lane& lane);
+
+  sim::Simulator* sim_;
+  std::vector<bool> busy_;  ///< per worker; lowest idle index dispatches
+  std::size_t idle_ = 0;
+  Lane lanes_[kPriorityLanes];
+  std::uint64_t next_seq_ = 0;
+  Stats stats_;
+  bool pumping_ = false;
+};
+
+}  // namespace findep::runtime

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bft/cluster.h"
+#include "crypto/cost.h"
 #include "runtime/param.h"
 #include "runtime/scenario.h"
 
@@ -29,20 +30,38 @@ class BftScalingScenario : public runtime::Scenario {
     /// Client arrival rate in requests/second; 0 = all at t = 0.
     double offered_load = 0.0;
     double deadline = 240.0;
+    /// Liveness timers, passed through to ReplicaOptions. The modeled
+    /// lane parks them high: a single-core replica grinding through a
+    /// large verify backlog is exactly what the worker sweep measures,
+    /// and the historical 1s timeout (tuned for zero-cost crypto) would
+    /// view-change it mid-measurement.
+    double request_timeout = 1.0;
+    double view_change_timeout = 1.5;
+    /// Modeled crypto cost (the `crypto` axis). The default free model
+    /// keeps the instance bit-identical to historical output; a non-free
+    /// model charges sign/verify time and emits extra metrics
+    /// (committed_requests, verify_tasks, verify_dropped_stale).
+    crypto::CostModel cost_model{};
+    /// Modeled verification cores per replica (the `workers` axis; only
+    /// meaningful with a non-free cost model).
+    std::size_t workers = 1;
     /// Optional display label ("silent primary"); default "n=<n>".
     std::string label;
   };
 
   /// The shared label convention for grid-built instances: "n=<n>"
-  /// plus " <mix>" / " b=<batch>" / " r=<requests>" / " load=<rate>"
-  /// suffixes only for non-default values — so a bft_batching instance
-  /// dialed back to the defaults renders *byte-identically* to the
-  /// equivalent bft_scaling instance (the CI no-batching invariant).
+  /// plus " <mix>" / " b=<batch>" / " r=<requests>" / " load=<rate>" /
+  /// " modeled w=<workers>" suffixes only for non-default values — so a
+  /// bft_batching instance dialed back to the defaults renders
+  /// *byte-identically* to the equivalent bft_scaling instance (the CI
+  /// no-batching invariant).
   [[nodiscard]] static std::string grid_label(std::size_t n,
                                               const std::string& mix,
                                               std::size_t batch_size,
                                               int requests,
-                                              double offered_load);
+                                              double offered_load,
+                                              const std::string& crypto,
+                                              std::size_t workers);
 
   /// Shared factory for the bft_scaling / bft_batching registrations.
   [[nodiscard]] static std::unique_ptr<runtime::Scenario> from_params(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "config/sampler.h"
+#include "crypto/keys.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "diversity/analyzer.h"
@@ -72,6 +73,48 @@ OpResult run_op(const std::string& op, std::uint64_t seed) {
       const auto proof = tree.prove(index);
       return static_cast<std::uint64_t>(
           crypto::MerkleTree::verify(leaves[index], proof, tree.root()));
+    });
+  }
+  if (op == "sign" || op == "verify" || op == "batch_verify_32") {
+    // The signature primitives behind the crypto cost model
+    // (crypto/cost.h): what one sign / verify / 32-proof quorum check
+    // actually costs this build. The simulation charges *modeled*
+    // nanoseconds for these, so the rows exist to keep the real
+    // implementation honest-cheap (an accidental O(n) registry scan or
+    // allocation storm shows up here long before it skews a sweep).
+    const crypto::KeyPair keys = crypto::KeyPair::derive(seed);
+    crypto::KeyRegistry registry;
+    registry.enroll(keys);
+    const crypto::Digest message =
+        crypto::Sha256{}.update_u64(seed).finish();
+    if (op == "sign") {
+      return time_op(16384, [&](std::size_t i) {
+        return keys.sign(crypto::Sha256{}.update_u64(i).finish())
+            .tag.prefix64();
+      });
+    }
+    if (op == "verify") {
+      const crypto::Signature sig = keys.sign(message);
+      return time_op(16384, [&](std::size_t) {
+        return static_cast<std::uint64_t>(
+            registry.verify(keys.public_key(), message, sig));
+      });
+    }
+    // batch_verify_32: one 32-signature quorum proof, the shape a
+    // NEW-VIEW or StateResponse batch-verifies per envelope.
+    std::vector<crypto::Digest> messages;
+    std::vector<crypto::Signature> sigs;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      messages.push_back(crypto::Sha256{}.update_u64(i).finish());
+      sigs.push_back(keys.sign(messages.back()));
+    }
+    return time_op(1024, [&](std::size_t) {
+      std::uint64_t ok = 0;
+      for (std::size_t i = 0; i < sigs.size(); ++i) {
+        ok += static_cast<std::uint64_t>(
+            registry.verify(keys.public_key(), messages[i], sigs[i]));
+      }
+      return ok;
     });
   }
   if (op == "entropy_4k") {
@@ -241,7 +284,8 @@ const runtime::ScenarioRegistration kMicro{{
     .description = "wall-clock microbenchmarks of the hot primitives "
                    "(timings measured, not seed-derived)",
     .grids = {runtime::ParamGrid{
-        {"op", {"sha256_4k", "merkle_build_1k", "merkle_prove_1k",
+        {"op", {"sha256_4k", "sign", "verify", "batch_verify_32",
+                "merkle_build_1k", "merkle_prove_1k",
                 "entropy_4k", "config_digest", "analyzer_n100",
                 "sim_schedule_pop", "sim_timer_churn",
                 "sim_far_future_insert", "sim_broadcast_100"}},

@@ -1,0 +1,118 @@
+// Modeled crypto cost in the PBFT cluster: crypto=free stays exactly the
+// historical protocol (worker knob inert), a modeled cost slows the run,
+// more workers speed it back up, and every configuration remains a pure
+// function of the seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bft/cluster.h"
+#include "crypto/cost.h"
+#include "support/assert.h"
+
+namespace findep::bft {
+namespace {
+
+ClusterOptions crypto_options(std::uint64_t seed, crypto::CostModel model,
+                              std::size_t workers) {
+  ClusterOptions opt;
+  opt.network.min_latency = 0.005;
+  opt.network.mean_extra_latency = 0.01;
+  // Throughput study, not a liveness one: park the timers so a saturated
+  // single-core replica is measured instead of view-changed.
+  opt.replica.request_timeout = 30.0;
+  opt.replica.view_change_timeout = 45.0;
+  opt.replica.batch_size = 8;
+  opt.replica.cost_model = model;
+  opt.replica.crypto_workers = workers;
+  opt.seed = seed;
+  return opt;
+}
+
+struct RunResult {
+  std::vector<ExecutedEntry> log;
+  double span = 0.0;
+  std::uint64_t verify_tasks = 0;
+};
+
+RunResult run_cluster(crypto::CostModel model, std::size_t workers,
+                      int requests = 64) {
+  BftCluster cluster(4, crypto_options(7, model, workers));
+  for (int i = 0; i < requests; ++i) cluster.submit();
+  EXPECT_TRUE(cluster.run_until_executed(
+      static_cast<std::size_t>(requests), 120.0));
+  EXPECT_TRUE(cluster.logs_consistent());
+  return RunResult{cluster.replica(1).executed(),
+                   cluster.last_completion_time(),
+                   cluster.verify_tasks()};
+}
+
+/// Cross-configuration comparisons work at agreement level: charging CPU
+/// time shifts *when* requests reach the primary's batcher, so batch
+/// composition (and hence the exact log) legitimately differs between
+/// cost models and worker counts. What must not differ is *what* was
+/// agreed: the set of executed request ids.
+std::vector<std::uint64_t> executed_ids(
+    const std::vector<ExecutedEntry>& log) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(log.size());
+  for (const ExecutedEntry& e : log) ids.push_back(e.request.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(BftCrypto, FreeModelBuildsNoPoolAndWorkerKnobIsInert) {
+  // Bit-identity of crypto=free across worker counts: the pool is never
+  // built, so the executed log and every completion time are exactly the
+  // single-core run's. This is the in-process half of the CI inertness
+  // cmp (which additionally diffs whole catalog outputs).
+  const RunResult w1 = run_cluster(crypto::CostModel::free(), 1);
+  const RunResult w8 = run_cluster(crypto::CostModel::free(), 8);
+  EXPECT_EQ(w1.verify_tasks, 0u);
+  EXPECT_EQ(w8.verify_tasks, 0u);
+  EXPECT_EQ(w1.log, w8.log);
+  EXPECT_EQ(w1.span, w8.span);  // exact, not approximate
+}
+
+TEST(BftCrypto, ModeledCostSlowsTheRunAndOffloadsVerification) {
+  // A deliberately heavy model (≈40× Ed25519) so CPU time dominates the
+  // network latency decisively; with realistic figures the sign delay can
+  // *speed up* short runs by packing fuller batches.
+  const crypto::CostModel heavy{.sign_ns = 2.0e6,
+                                .verify_ns = 5.0e6,
+                                .batch_verify_base_ns = 1.0e6,
+                                .batch_verify_item_ns = 2.5e6};
+  const RunResult free_run = run_cluster(crypto::CostModel::free(), 1);
+  const RunResult modeled = run_cluster(heavy, 1);
+  EXPECT_GT(modeled.verify_tasks, 0u);
+  EXPECT_GT(modeled.span, free_run.span);
+  // Charging CPU time must not change *what* is agreed, only when.
+  EXPECT_EQ(executed_ids(modeled.log), executed_ids(free_run.log));
+}
+
+TEST(BftCrypto, MoreWorkersRecoverThroughput) {
+  const RunResult w1 = run_cluster(crypto::CostModel::modeled(), 1, 256);
+  const RunResult w8 = run_cluster(crypto::CostModel::modeled(), 8, 256);
+  EXPECT_LT(w8.span, w1.span);
+  // Same agreement, different clock (and so different batch packing).
+  EXPECT_EQ(executed_ids(w1.log), executed_ids(w8.log));
+}
+
+TEST(BftCrypto, ModeledRunsAreDeterministic) {
+  const RunResult a = run_cluster(crypto::CostModel::modeled(), 4);
+  const RunResult b = run_cluster(crypto::CostModel::modeled(), 4);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.verify_tasks, b.verify_tasks);
+}
+
+TEST(BftCrypto, RejectsZeroWorkers) {
+  EXPECT_THROW(
+      BftCluster(4, crypto_options(1, crypto::CostModel::modeled(), 0)),
+      support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace findep::bft

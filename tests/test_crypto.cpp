@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/cost.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
@@ -262,6 +263,34 @@ TEST(Vrf, OutputsAreUniformish) {
                .as_unit_double();
   }
   EXPECT_NEAR(sum / kN, 0.5, 0.03);
+}
+
+// --- crypto cost model (crypto/cost.h) --------------------------------------
+
+TEST(CostModel, FreeIsTheAllZeroDefault) {
+  const CostModel model;
+  EXPECT_TRUE(model.is_free());
+  EXPECT_TRUE(CostModel::free().is_free());
+  EXPECT_EQ(CostModel::free().sign_seconds(), 0.0);
+  EXPECT_EQ(CostModel::free().batch_verify_seconds(1000), 0.0);
+}
+
+TEST(CostModel, ModeledChargesSimulatedSeconds) {
+  const CostModel model = CostModel::modeled();
+  EXPECT_FALSE(model.is_free());
+  EXPECT_DOUBLE_EQ(model.sign_seconds(), 50e-6);
+  EXPECT_DOUBLE_EQ(model.verify_seconds(), 130e-6);
+  // Batch verification beats k independent verifies for any quorum the
+  // protocol batches (the entire point of the base + per-item split).
+  EXPECT_LT(model.batch_verify_seconds(32), 32 * model.verify_seconds());
+  EXPECT_DOUBLE_EQ(model.batch_verify_seconds(0), 20e-6);
+}
+
+TEST(CostModel, ParsesTheScenarioAxisValues) {
+  EXPECT_TRUE(CostModel::parse("free").is_free());
+  EXPECT_FALSE(CostModel::parse("modeled").is_free());
+  EXPECT_THROW(CostModel::parse("ed25519"), std::invalid_argument);
+  EXPECT_THROW(CostModel::parse(""), std::invalid_argument);
 }
 
 }  // namespace

@@ -222,7 +222,9 @@ TEST(ScenarioRegistry, InstantiateExpandsEveryGrid) {
   ASSERT_NE(family, nullptr);
   const auto scenarios = instantiate_family(*family, family->grids);
   EXPECT_EQ(scenarios.size(), family->instance_count());
-  EXPECT_EQ(scenarios.size(), 10u);  // 6 sizes + 4 fault mixes
+  // 6 sizes + 4 fault mixes + the modeled-crypto worker lane (2 sizes ×
+  // 4 worker counts).
+  EXPECT_EQ(scenarios.size(), 18u);
 }
 
 // --- the global work queue vs serial ---------------------------------------
