@@ -8,7 +8,9 @@
 #   kind=time   rows (micro ns_per_op): FAIL when the measured mean
 #               exceeds baseline x tolerance (default 1.5x — shared
 #               runners are noisy, so time baselines carry headroom).
-#   kind=count  rows (bft_batching messages-per-request counters,
+#   kind=count  rows (bft_batching messages-per-request counters, the
+#               protocol-comparison lane's message counts and
+#               commit-latency percentiles for pbft and hotstuff both,
 #               bft_churn committed_requests / stranded_replicas, and the
 #               campaign outcome classification): FAIL on anything but
 #               exact equality of the printed value — these are
@@ -140,6 +142,22 @@ if need "bft_scaling/" " modeled"; then
            {print $2 "," $4 "," $5}' "$tmp/modeled.csv" \
     >> "$tmp/current_count.csv"
 fi
+if need "bft_scaling/" " proto="; then
+  # The protocol-comparison lane: pbft vs hotstuff over n = {4,10,25,50}.
+  # Message counts and the simulated-clock commit-latency percentiles are
+  # seed-deterministic, so every cell of both protocols is exact-pinned —
+  # the linear-vs-quadratic crossover is itself the regression surface (a
+  # vote-path or pacemaker change shows up as a drifted count here before
+  # it shows up anywhere else).
+  "$bench" --family bft_scaling --only " proto=" --seeds 1 \
+    --csv --out "$tmp/protocol.csv" > /dev/null
+  awk -F, 'FNR > 1 && ($4 == "msgs_per_request" ||
+                       $4 == "msgs_per_committed_request" ||
+                       $4 == "commit_latency_p50_ms" ||
+                       $4 == "commit_latency_p99_ms") \
+           {print $2 "," $4 "," $5}' "$tmp/protocol.csv" \
+    >> "$tmp/current_count.csv"
+fi
 if need "bft_churn/"; then
   "$bench" --family bft_churn --seeds 1 --csv --out "$tmp/churn.csv" \
     > /dev/null
@@ -150,13 +168,29 @@ if need "bft_churn/"; then
 fi
 if need "campaign/"; then
   # A 3-target x 3-fault slice of the campaign grid at one seed; the
-  # outcome classification of each cell is deterministic.
+  # outcome classification of each cell is deterministic. Protocol-lane
+  # cells are carved out here — the dedicated block below pins them with
+  # a wider metric set.
   "$bench" --family campaign --set target=uniform,diverse,lazarus \
     --set fault=crash,partition,collude --set rate=1 --seeds 1 \
-    --csv --out "$tmp/campaign.csv" > /dev/null
+    --exclude " proto=" --csv --out "$tmp/campaign.csv" > /dev/null
   awk -F, 'FNR > 1 && ($4 == "fault_detected" || $4 == "recovered" ||
                        $4 == "safety_violated") \
            {print $2 "," $4 "," $5}' "$tmp/campaign.csv" \
+    >> "$tmp/current_count.csv"
+fi
+if need "campaign/" " proto="; then
+  # The campaign's hotstuff lane (uniform/diverse x all four fault
+  # kinds): the outcome classification plus the committed-request count
+  # of every cell is deterministic at one seed, and the diversity story —
+  # uniform fleets stall, diverse fleets recover — must hold for the
+  # rotating-leader protocol exactly as it does for pbft.
+  "$bench" --family campaign --only " proto=" --seeds 1 \
+    --csv --out "$tmp/campaign_proto.csv" > /dev/null
+  awk -F, 'FNR > 1 && ($4 == "fault_detected" || $4 == "recovered" ||
+                       $4 == "safety_violated" ||
+                       $4 == "committed_requests") \
+           {print $2 "," $4 "," $5}' "$tmp/campaign_proto.csv" \
     >> "$tmp/current_count.csv"
 fi
 

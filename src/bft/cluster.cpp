@@ -1,6 +1,7 @@
 #include "bft/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/assert.h"
 
@@ -51,13 +52,45 @@ void BftCluster::init(std::vector<double> weights,
     // Replica-local RNG (random peer choice in state transfer), derived
     // per replica from the cluster seed so runs stay reproducible.
     ropts.rng_seed = support::mix64(options_.seed ^ (0xb1f70000ULL + i));
-    replicas_.push_back(std::make_unique<Replica>(
-        static_cast<ReplicaId>(i), weights, directory, registry_, keys[i],
-        *network_, ropts));
+    if (options_.protocol == replication::Protocol::kHotStuff) {
+      replicas_.push_back(std::make_unique<replication::HotStuff>(
+          static_cast<ReplicaId>(i), weights, directory, registry_,
+          keys[i], *network_, ropts));
+    } else {
+      replicas_.push_back(std::make_unique<Replica>(
+          static_cast<ReplicaId>(i), weights, directory, registry_,
+          keys[i], *network_, ropts));
+    }
     replicas_.back()->start();
   }
   observed_.assign(n, 0);
   real_executed_.assign(n, 0);
+}
+
+Replica& BftCluster::replica(std::size_t i) {
+  FINDEP_REQUIRE_MSG(options_.protocol == replication::Protocol::kPbft,
+                     "replica() requires protocol=pbft; use node()");
+  return static_cast<Replica&>(*replicas_[i]);
+}
+
+const Replica& BftCluster::replica(std::size_t i) const {
+  FINDEP_REQUIRE_MSG(options_.protocol == replication::Protocol::kPbft,
+                     "replica() requires protocol=pbft; use node()");
+  return static_cast<const Replica&>(*replicas_[i]);
+}
+
+replication::HotStuff& BftCluster::hotstuff(std::size_t i) {
+  FINDEP_REQUIRE_MSG(
+      options_.protocol == replication::Protocol::kHotStuff,
+      "hotstuff() requires protocol=hotstuff; use node()");
+  return static_cast<replication::HotStuff&>(*replicas_[i]);
+}
+
+const replication::HotStuff& BftCluster::hotstuff(std::size_t i) const {
+  FINDEP_REQUIRE_MSG(
+      options_.protocol == replication::Protocol::kHotStuff,
+      "hotstuff() requires protocol=hotstuff; use node()");
+  return static_cast<const replication::HotStuff&>(*replicas_[i]);
 }
 
 std::uint64_t BftCluster::submit() {
@@ -117,7 +150,7 @@ void BftCluster::run_for(double duration) {
 }
 
 bool BftCluster::logs_consistent() const {
-  const Replica* reference = nullptr;
+  const replication::OrderingProtocol* reference = nullptr;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (behaviors_[i] != Behavior::kHonest) continue;
     if (reference == nullptr) {
@@ -224,6 +257,22 @@ double BftCluster::mean_latency() const {
   }
   FINDEP_REQUIRE_MSG(count > 0, "no completed requests");
   return sum / static_cast<double>(count);
+}
+
+double BftCluster::latency_percentile(double q) const {
+  FINDEP_REQUIRE(q > 0.0 && q <= 1.0);
+  std::vector<double> latencies;
+  latencies.reserve(traces_.size());
+  for (const RequestTrace& t : traces_) {
+    if (t.done()) latencies.push_back(t.latency());
+  }
+  FINDEP_REQUIRE_MSG(!latencies.empty(), "no completed requests");
+  std::sort(latencies.begin(), latencies.end());
+  // Nearest-rank: the smallest latency with at least q of the mass at or
+  // below it.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(latencies.size())));
+  return latencies[std::max<std::size_t>(rank, 1) - 1];
 }
 
 }  // namespace findep::bft

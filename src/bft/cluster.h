@@ -1,7 +1,10 @@
-// BftCluster: a whole PBFT deployment in one object — replicas, client,
-// simulated network — plus the safety/liveness checkers the experiments
-// assert on. This is the harness both the test suite and the benchmark
-// binaries drive.
+// BftCluster: a whole replicated deployment in one object — replicas,
+// client, simulated network — plus the safety/liveness checkers the
+// experiments assert on. This is the harness both the test suite and the
+// benchmark binaries drive. The ordering protocol is an axis: the same
+// cluster object runs a PBFT deployment or a chained-HotStuff one
+// (ClusterOptions::protocol), exposing the protocol-neutral observable
+// surface either way.
 #pragma once
 
 #include <memory>
@@ -9,6 +12,7 @@
 
 #include "bft/replica.h"
 #include "net/network.h"
+#include "replication/hotstuff.h"
 #include "sim/simulator.h"
 
 namespace findep::bft {
@@ -17,6 +21,8 @@ struct ClusterOptions {
   net::NetworkOptions network;
   ReplicaOptions replica;
   std::uint64_t seed = 99;
+  /// Which ordering protocol every replica runs.
+  replication::Protocol protocol = replication::Protocol::kPbft;
 };
 
 /// Per-request latency record (submit time → first honest execution).
@@ -62,10 +68,20 @@ class BftCluster {
   [[nodiscard]] std::size_t min_honest_executed() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return replicas_.size(); }
-  [[nodiscard]] Replica& replica(std::size_t i) { return *replicas_[i]; }
-  [[nodiscard]] const Replica& replica(std::size_t i) const {
+  /// Protocol-neutral view of replica i (what generic metrics read).
+  [[nodiscard]] replication::OrderingProtocol& node(std::size_t i) {
     return *replicas_[i];
   }
+  [[nodiscard]] const replication::OrderingProtocol& node(
+      std::size_t i) const {
+    return *replicas_[i];
+  }
+  /// PBFT-typed view of replica i. Requires protocol == kPbft.
+  [[nodiscard]] Replica& replica(std::size_t i);
+  [[nodiscard]] const Replica& replica(std::size_t i) const;
+  /// HotStuff-typed view of replica i. Requires protocol == kHotStuff.
+  [[nodiscard]] replication::HotStuff& hotstuff(std::size_t i);
+  [[nodiscard]] const replication::HotStuff& hotstuff(std::size_t i) const;
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] net::SimNetwork& network() noexcept { return *network_; }
   [[nodiscard]] const std::vector<RequestTrace>& traces() const noexcept {
@@ -75,6 +91,11 @@ class BftCluster {
   /// Mean commit latency over completed requests (seconds); requires at
   /// least one completed request.
   [[nodiscard]] double mean_latency() const;
+
+  /// Nearest-rank latency percentile over completed requests (seconds);
+  /// `q` in (0, 1], e.g. 0.5 for the median, 0.99 for p99. Requires at
+  /// least one completed request.
+  [[nodiscard]] double latency_percentile(double q) const;
 
   /// Number of submitted requests some honest replica has executed.
   /// Batching note: a RequestTrace completes when its *request* first
@@ -114,7 +135,7 @@ class BftCluster {
   std::unique_ptr<net::SimNetwork> network_;
   crypto::KeyRegistry registry_;
   std::unique_ptr<crypto::KeyPair> client_keys_;
-  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<replication::OrderingProtocol>> replicas_;
   std::vector<Behavior> behaviors_;
   std::vector<RequestTrace> traces_;
   /// Per-replica cursor into executed() already scanned (and the count of

@@ -118,6 +118,79 @@ crypto::Digest StateResponse::digest() const {
   return h.finish();
 }
 
+crypto::Digest QuorumCert::digest() const {
+  crypto::Sha256 h;
+  h.update("findep/hs/qc/v1");
+  h.update_u64(round);
+  h.update_u64(height);
+  h.update(block_digest.bytes);
+  h.update_u64(votes.size());
+  for (const HsSignedVote& v : votes) {
+    h.update_u64(v.voter);
+    h.update(v.signature.tag.bytes);
+  }
+  return h.finish();
+}
+
+crypto::Digest HsBlock::digest() const {
+  // Commits to the full chain position: round, height, parent link and
+  // the justifying QC, so two blocks with the same batch at different
+  // chain points (or extending different parents) are distinct.
+  return crypto::Sha256{}
+      .update("findep/hs/block/v1")
+      .update_u64(round)
+      .update_u64(height)
+      .update(parent.bytes)
+      .update(justify.digest().bytes)
+      .update(batch.digest().bytes)
+      .finish();
+}
+
+crypto::Digest HsProposal::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/proposal/v1")
+      .update(block.digest().bytes)
+      .finish();
+}
+
+crypto::Digest HsVote::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/vote/v1")
+      .update_u64(round)
+      .update_u64(height)
+      .update(block_digest.bytes)
+      .finish();
+}
+
+crypto::Digest HsTimeout::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/timeout/v1")
+      .update_u64(round)
+      .update(high_qc.digest().bytes)
+      .finish();
+}
+
+crypto::Digest HsBlockRequest::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/blockrequest/v1")
+      .update(block_digest.bytes)
+      .finish();
+}
+
+crypto::Digest HsBlockResponse::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/blockresponse/v1")
+      .update(block.digest().bytes)
+      .finish();
+}
+
+crypto::Digest HsQcNotice::digest() const {
+  return crypto::Sha256{}
+      .update("findep/hs/qcnotice/v1")
+      .update(qc.digest().bytes)
+      .finish();
+}
+
 crypto::Digest payload_digest(const Payload& payload) {
   return std::visit([](const auto& msg) { return msg.digest(); }, payload);
 }
@@ -164,6 +237,24 @@ std::uint64_t newview_wire_bytes(const NewView& nv) {
 /// plus the request body at the shared-header batch rate.
 constexpr std::uint64_t kStateEntryBytes = 16 + kBatchedRequestBytes;
 
+/// One (voter, signature) pair inside a quorum certificate.
+constexpr std::uint64_t kQcVoteBytes = 96;
+/// QC header: round, height, block digest, vote count frame.
+constexpr std::uint64_t kQcHeaderBytes = 64;
+
+std::uint64_t quorumcert_wire_bytes(const QuorumCert& qc) {
+  return kQcHeaderBytes + kQcVoteBytes * qc.votes.size();
+}
+
+std::uint64_t hsblock_wire_bytes(const HsBlock& block) {
+  // Chain-position header plus the embedded QC and the batch body — a
+  // proposal is charged for the certificate it carries, which is what
+  // makes HotStuff's per-decision bytes linear in n instead of the
+  // quadratic vote fan-out paying per message.
+  return kControlBytes + quorumcert_wire_bytes(block.justify) +
+         batch_body_bytes(block.batch);
+}
+
 std::uint64_t stateresponse_wire_bytes(const StateResponse& resp) {
   // Header, one signed checkpoint vote per proof entry, the committed
   // log suffix, and the optional embedded NEW-VIEW at its own rate —
@@ -191,8 +282,17 @@ std::uint64_t payload_wire_bytes(const Payload& payload) {
           return newview_wire_bytes(msg);
         } else if constexpr (std::is_same_v<T, StateResponse>) {
           return stateresponse_wire_bytes(msg);
+        } else if constexpr (std::is_same_v<T, HsProposal>) {
+          return hsblock_wire_bytes(msg.block);
+        } else if constexpr (std::is_same_v<T, HsTimeout>) {
+          return kControlBytes + quorumcert_wire_bytes(msg.high_qc);
+        } else if constexpr (std::is_same_v<T, HsQcNotice>) {
+          return kControlBytes + quorumcert_wire_bytes(msg.qc);
+        } else if constexpr (std::is_same_v<T, HsBlockResponse>) {
+          return hsblock_wire_bytes(msg.block);
         } else {
-          // Prepare / Commit / Checkpoint / StateRequest
+          // Prepare / Commit / Checkpoint / StateRequest / HsVote /
+          // HsBlockRequest
           return kControlBytes;
         }
       },

@@ -168,9 +168,113 @@ struct StateResponse {
   [[nodiscard]] crypto::Digest digest() const;
 };
 
+// --- HotStuff lane (chained quorum-certificate protocol) -------------------
+//
+// The pipelined, linear-communication lane shares the request/batch/
+// checkpoint/state-transfer types above and adds the chained-HotStuff wire
+// set: one proposal per round extending the highest known quorum
+// certificate, votes sent to the *next* round's leader (who aggregates
+// them into a QC instead of every replica hearing every vote — this is
+// what turns the O(n²) prepare/commit fan-out into O(n) per decision),
+// and timeout messages carrying the sender's high-QC so a new leader can
+// always extend the freshest certified block.
+
+/// One vote signature inside a quorum certificate. The signature is over
+/// the voter's HsVote digest, so a QC is re-verifiable by anyone holding
+/// the directory (exactly like NEW-VIEW / checkpoint proof quorums).
+struct HsSignedVote {
+  ReplicaId voter = 0;
+  crypto::Signature signature;
+};
+
+/// Quorum certificate: > 2/3 of voting power signed HsVote{round, height,
+/// block_digest}. The genesis QC (round 0, height 0) is the one
+/// certificate that carries no votes — every chain hangs off it.
+struct QuorumCert {
+  std::uint64_t round = 0;
+  SeqNum height = 0;
+  crypto::Digest block_digest;
+  std::vector<HsSignedVote> votes;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// One chain block: a batch proposed at (round, height) extending the
+/// block certified by `justify` (parent == justify.block_digest — the
+/// chained variant always extends the freshest QC). Height is the
+/// execution sequence number; round advances past height on timeouts.
+struct HsBlock {
+  std::uint64_t round = 0;
+  SeqNum height = 0;
+  crypto::Digest parent;
+  QuorumCert justify;
+  Batch batch;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+struct HsProposal {
+  HsBlock block;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// A replica's vote for the block proposed at `round`, sent to the leader
+/// of round + 1 (leader-collects-votes: the quadratic all-to-all of PBFT
+/// prepare/commit collapses to one linear collection per round).
+struct HsVote {
+  std::uint64_t round = 0;
+  SeqNum height = 0;
+  crypto::Digest block_digest;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// Pacemaker timeout for `round`, sent to that round's leader. Carries the
+/// sender's highest QC; a leader collecting a > 2/3 timeout quorum learns
+/// the freshest certified block any honest replica is locked behind and
+/// may propose extending it.
+struct HsTimeout {
+  std::uint64_t round = 0;
+  QuorumCert high_qc;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// Orphan-chain repair: "send me the block with this digest" (a commit
+/// walk hit a parent we never received). Broadcast; any peer still
+/// holding the block answers.
+struct HsBlockRequest {
+  crypto::Digest block_digest;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+struct HsBlockResponse {
+  HsBlock block;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
+/// Tail-quiescence QC announcement. In leader-collects-votes HotStuff only
+/// the collecting leader learns a QC formed; normally it shares it inside
+/// its next proposal. When the chain has drained (no pending requests, no
+/// further block to propose) there *is* no next proposal, so the final QC
+/// — and with it the last commit — would be stranded at one replica while
+/// everyone else waits out a pacemaker timeout. The collecting leader
+/// instead broadcasts the bare QC; receivers adopt it and run the commit
+/// rule, and since a notice triggers no votes or round entry, the cluster
+/// quiesces symmetrically.
+struct HsQcNotice {
+  QuorumCert qc;
+
+  [[nodiscard]] crypto::Digest digest() const;
+};
+
 using Payload = std::variant<Request, PrePrepare, Prepare, Commit,
                              Checkpoint, ViewChange, NewView, StateRequest,
-                             StateResponse>;
+                             StateResponse, HsProposal, HsVote, HsTimeout,
+                             HsBlockRequest, HsBlockResponse, HsQcNotice>;
 
 /// Envelope: sender identity + signature over the payload digest.
 struct Envelope {

@@ -1,445 +1,18 @@
-// A PBFT replica over the simulated network.
-//
-// Implements the normal three-phase case (pre-prepare / prepare / commit)
-// over *request batches* (one consensus instance orders a block of client
-// requests; see ReplicaOptions::batch_size), checkpointing, and view
-// changes with NEW-VIEW proof verification, using
-// *weighted* quorums: each replica carries a voting power w_i and
-// certificates require strictly more than 2/3 of the total power (for
-// unit weights and n = 3f+1 this is exactly the classic 2f+1). Safety
-// holds while Byzantine power ≤ 1/3 of total — precisely the budget the
-// diversity core bounds via the configuration distribution.
-//
-// Byzantine behaviours built in for fault-injection experiments:
-//   kSilent     — never sends anything (fail-stop from the start).
-//   kEquivocate — as primary, proposes conflicting requests for the same
-//                 sequence number to different halves of the cluster.
-//   kCollude    — kEquivocate as primary, and additionally lends its
-//                 commit weight to *every* digest it hears of (prepare +
-//                 commit without conflict checks). A coalition of
-//                 colluders with power > 1/3 of the total can drive two
-//                 conflicting commit certificates through — the exact
-//                 safety threshold of the paper — whereas any weaker
-//                 coalition (and any number of plain equivocators)
-//                 cannot.
-//   kCensor     — as primary, silently ignores requests with odd ids
-//                 (a client-selective starvation attack: the cluster
-//                 keeps making progress on everything else).
-//
-// Checkpoint-anchored state transfer (DESIGN.md "State transfer"): a
-// replica that observes credible evidence of committed state above its
-// own execution horizon — a stable-checkpoint quorum it adopted, or
-// > 1/3 of voting power claiming checkpoints it has not executed —
-// fetches the missing log suffix from a random up-to-date peer, verifies
-// the checkpoint digest against the signed vote quorum carried in the
-// response, and resumes normal execution. This is what un-strands
-// laggards after long outages (churn experiments with < 1/3 of weight
-// offline for many checkpoint intervals).
+// Compatibility shim: the PBFT replica moved behind the layered
+// replication core (src/replication/) as one of several ordering
+// protocols. The wire vocabulary stays here in findep::bft
+// (bft/messages.h); the replica itself, its options and the behaviour
+// enum now live in findep::replication. Existing code — the cluster
+// harness, scenarios, campaign engine, tests — keeps compiling against
+// the bft:: names via the aliases below.
 #pragma once
 
-#include <deque>
-#include <map>
-#include <memory>
-#include <optional>
-#include <unordered_map>
-#include <utility>
-#include <vector>
-
-#include "bft/messages.h"
-#include "crypto/cost.h"
-#include "net/network.h"
-#include "runtime/workers.h"
-#include "sim/simulator.h"
-#include "support/rng.h"
+#include "replication/pbft.h"
 
 namespace findep::bft {
 
-enum class Behavior : std::uint8_t {
-  kHonest,
-  kSilent,
-  kEquivocate,
-  kCollude,
-  kCensor,
-};
-
-struct ReplicaOptions {
-  /// Seconds a known-but-unexecuted request may age before the replica
-  /// starts a view change.
-  double request_timeout = 1.0;
-  /// Patience for a new view to be installed before escalating further.
-  double view_change_timeout = 1.5;
-  /// Execute-to-checkpoint distance.
-  SeqNum checkpoint_interval = 16;
-  /// Primary-side batching: accumulate pending requests and cut a batch
-  /// as soon as `batch_size` are queued, or `batch_timeout` simulated
-  /// seconds after the first queued request — whichever comes first.
-  /// batch_size = 1 cuts on every request immediately and never arms the
-  /// timer, which is behaviourally identical to the unbatched protocol.
-  /// batch_timeout must stay strictly below request_timeout — a lone
-  /// request waiting out a slower batch timer lets the backups' request
-  /// timers fire first, costing a spurious view change per light-load
-  /// lull. The constructor rejects the misconfiguration outright.
-  std::size_t batch_size = 1;
-  double batch_timeout = 0.05;
-  /// Checkpoint-anchored state transfer (off only for regression sweeps
-  /// that need the historical stranding behaviour).
-  bool enable_state_transfer = true;
-  /// Grace before the first fetch once lag is observed: in-flight slots
-  /// usually commit from live traffic within a round trip, so a fetch is
-  /// only worth its bytes when the gap persists.
-  double state_transfer_grace = 0.2;
-  /// Patience per fetch attempt before retrying another random peer.
-  double state_transfer_timeout = 1.0;
-  /// Primary flow control: the primary never proposes a sequence number
-  /// more than this far ahead of its stable checkpoint. Without the
-  /// bound, a primary outrunning a slow checkpoint quorum piles up
-  /// unbounded in-flight slots (each one full consensus state on every
-  /// replica); with it, a stalled checkpoint back-pressures proposals
-  /// instead of memory. Deferred batches stay queued and are cut as soon
-  /// as the stable checkpoint advances. Must be at least
-  /// 2 * checkpoint_interval, or the bound would bite during the
-  /// perfectly healthy execute-ahead-of-stability phase.
-  SeqNum high_watermark_window = 128;
-  /// Seed of the replica-local RNG (random peer choice during state
-  /// transfer). The cluster harness derives one per replica from the
-  /// cluster seed.
-  std::uint64_t rng_seed = 0x5eedb1f7;
-  Behavior behavior = Behavior::kHonest;
-  /// Modeled CPU cost of the signature primitives. The default
-  /// (CostModel::free()) disables cost modeling entirely: no worker
-  /// pool is created, sends are not delayed, and runs are bit-identical
-  /// to the historical protocol. A non-free model (a) serializes sends
-  /// behind a per-replica signing accumulator and (b) offloads inbound
-  /// signature verification onto `crypto_workers` modeled cores
-  /// (runtime::WorkerPool) — consensus traffic at critical priority,
-  /// client requests speculative, dead-view work shed on dequeue.
-  crypto::CostModel cost_model{};
-  /// Modeled verification cores per replica (>= 1). Only read when
-  /// cost_model is non-free.
-  std::size_t crypto_workers = 1;
-};
-
-class Replica {
- public:
-  /// `weights[i]` is replica i's voting power; `directory[i]` its public
-  /// key (both indexed by ReplicaId, same size). `keys` must match
-  /// `directory[id]` and be enrolled in `registry`.
-  Replica(ReplicaId id, std::vector<double> weights,
-          std::vector<crypto::PublicKey> directory,
-          crypto::KeyRegistry& registry, crypto::KeyPair keys,
-          net::SimNetwork& network, ReplicaOptions options);
-
-  Replica(const Replica&) = delete;
-  Replica& operator=(const Replica&) = delete;
-
-  /// Attaches the network handler. Call once before the simulation runs.
-  void start();
-
-  /// Client entry point: hands a request to this replica (it forwards to
-  /// the primary if needed and arms the liveness timer).
-  void submit(const Request& request);
-
-  [[nodiscard]] ReplicaId id() const noexcept { return id_; }
-  [[nodiscard]] View view() const noexcept { return view_; }
-  [[nodiscard]] Behavior behavior() const noexcept {
-    return options_.behavior;
-  }
-  [[nodiscard]] const std::vector<ExecutedEntry>& executed() const noexcept {
-    return executed_;
-  }
-  [[nodiscard]] SeqNum last_executed() const noexcept {
-    return last_executed_;
-  }
-  [[nodiscard]] SeqNum stable_checkpoint() const noexcept {
-    return stable_checkpoint_;
-  }
-  [[nodiscard]] std::uint64_t view_changes_started() const noexcept {
-    return view_changes_started_;
-  }
-  /// Batch cuts deferred by the high-watermark bound (primary only;
-  /// each deferral event counts, including repeats for the same batch).
-  [[nodiscard]] std::uint64_t proposals_deferred() const noexcept {
-    return proposals_deferred_;
-  }
-  /// State digest of this replica's stable checkpoint (meaningful only
-  /// when stable_checkpoint() > 0).
-  [[nodiscard]] const crypto::Digest& stable_checkpoint_digest()
-      const noexcept {
-    return stable_checkpoint_digest_;
-  }
-  /// Completed (verified + adopted) state transfers.
-  [[nodiscard]] std::uint64_t state_transfers_completed() const noexcept {
-    return state_transfers_completed_;
-  }
-  /// State responses rejected for a bad proof, bad entries or a state
-  /// digest mismatch (each followed by a retry at another peer).
-  [[nodiscard]] std::uint64_t state_transfers_rejected() const noexcept {
-    return state_transfers_rejected_;
-  }
-  /// StateRequest messages sent (first attempts and retries).
-  [[nodiscard]] std::uint64_t state_transfer_requests() const noexcept {
-    return state_transfer_requests_;
-  }
-  /// Wire bytes of every StateResponse received (adopted or rejected).
-  [[nodiscard]] std::uint64_t state_transfer_bytes() const noexcept {
-    return state_transfer_bytes_;
-  }
-  /// Messages rejected because they arrived corrupted (the simulated
-  /// equivalent of a signature-verification failure over flipped wire
-  /// bits). A nonzero count is direct evidence the fault was *detected*.
-  [[nodiscard]] std::uint64_t corrupted_rejected() const noexcept {
-    return corrupted_rejected_;
-  }
-  /// Verification tasks submitted to the worker pool (0 under
-  /// crypto=free, which never builds a pool).
-  [[nodiscard]] std::uint64_t verify_tasks() const noexcept {
-    return verify_pool_ != nullptr ? verify_pool_->stats().submitted : 0;
-  }
-  /// Pool tasks shed by the stale check (dead-view traffic dropped at
-  /// dequeue without consuming worker time).
-  [[nodiscard]] std::uint64_t verify_dropped_stale() const noexcept {
-    return verify_pool_ != nullptr ? verify_pool_->stats().dropped_stale
-                                   : 0;
-  }
-  /// Modeled worker-occupancy seconds spent verifying.
-  [[nodiscard]] double verify_busy_seconds() const noexcept {
-    return verify_pool_ != nullptr ? verify_pool_->stats().busy_seconds
-                                   : 0.0;
-  }
-
-  [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
-    return static_cast<ReplicaId>(v % weights_.size());
-  }
-  [[nodiscard]] bool is_primary() const noexcept {
-    return primary_of(view_) == id_;
-  }
-
-  /// The batch used to fill sequence gaps during view changes: empty, so
-  /// executing it is a no-op at request granularity.
-  [[nodiscard]] static Batch noop_batch();
-
- private:
-  /// Consensus state of one sequence number. One slot agrees on one
-  /// *batch*; execution unrolls the batch into per-request log entries.
-  struct Slot {
-    bool have_preprepare = false;
-    Batch batch;
-    crypto::Digest batch_digest;
-    /// Votes keyed by digest then sender (handles out-of-order arrival
-    /// and equivocation).
-    std::map<crypto::Digest, std::map<ReplicaId, double>> prepare_votes;
-    std::map<crypto::Digest, std::map<ReplicaId, double>> commit_votes;
-    bool sent_prepare = false;
-    bool sent_commit = false;
-    bool prepared = false;
-    View prepared_view = 0;
-    bool committed = false;
-  };
-
-  // --- dispatch ---------------------------------------------------------
-  void on_message(const net::Message& raw);
-  /// The post-verification half of on_message: routes the payload to its
-  /// handler. Shared by the inline crypto=free path and the worker-pool
-  /// completion path, so offloading cannot drift from the historical
-  /// dispatch semantics.
-  void dispatch_payload(const Envelope& env, net::NodeId raw_from,
-                        std::uint64_t raw_bytes);
-  /// Modeled-crypto inbound path: queues envelope verification on the
-  /// worker pool (critical lane for consensus/recovery traffic,
-  /// speculative for client requests; dead-view work shed on dequeue)
-  /// and dispatches from the in-order completion.
-  void offload_verify(const net::Message& raw, const Envelope& env);
-  /// Stale predicate for a pool task carrying `payload`, or null when
-  /// the payload class never goes stale.
-  [[nodiscard]] runtime::WorkerPool::StaleCheck make_stale_check(
-      const Payload& payload) const;
-  void on_request(const Request& request, net::NodeId from);
-  void on_preprepare(const PrePrepare& pp, ReplicaId from);
-  void on_prepare(const Prepare& p, ReplicaId from);
-  void on_commit(const Commit& c, ReplicaId from);
-  void on_checkpoint(const Checkpoint& cp, ReplicaId from,
-                     const crypto::Signature& signature);
-  void on_viewchange(const ViewChange& vc, ReplicaId from,
-                     const crypto::Signature& signature);
-  void on_newview(const NewView& nv, ReplicaId from);
-  void on_state_request(const StateRequest& sr, ReplicaId from);
-  void on_state_response(const StateResponse& resp, ReplicaId from);
-
-  // --- normal case --------------------------------------------------------
-  void enqueue_for_proposal(const Request& request);
-  void cut_batch();
-  /// Re-attempts a batch cut that the high-watermark bound deferred.
-  /// Called wherever the stable checkpoint advances.
-  void retry_deferred_cut();
-  void propose(Batch batch);
-  void accept_preprepare(const PrePrepare& pp);
-  void maybe_prepared(SeqNum seq);
-  void maybe_committed(SeqNum seq);
-  void execute_ready();
-  void maybe_checkpoint();
-
-  // --- view change ----------------------------------------------------
-  void replay_future_messages();
-  void start_view_change(View target);
-  void maybe_assemble_new_view(View target);
-  [[nodiscard]] static std::vector<PrePrepare> compute_reproposals(
-      View target, const std::vector<SignedViewChange>& proofs);
-  /// Verifies a NEW-VIEW's embedded view-change quorum and recomputed
-  /// re-proposals (shared by on_newview and state-transfer adoption —
-  /// NEW-VIEW is self-certifying, so it can be relayed).
-  [[nodiscard]] bool verify_new_view(const NewView& nv) const;
-  void install_new_view(const NewView& nv);
-
-  // --- state transfer -------------------------------------------------
-  /// Records a peer's signed claim of a stable/executed seq (checkpoint
-  /// votes, view-change stable fields, new-view proofs). One cell per
-  /// replica, so Byzantine peers cannot bloat it.
-  void note_peer_claim(ReplicaId from, SeqNum seq);
-  /// The highest seq claimed at-or-above by > 1/3 of voting power beyond
-  /// our execution horizon — at least one *honest* replica can prove a
-  /// stable checkpoint there. 0 when we are not credibly behind.
-  [[nodiscard]] SeqNum claims_catchup_target() const;
-  /// Arms the grace timer when we are credibly behind and no fetch is in
-  /// flight.
-  void maybe_schedule_state_fetch();
-  /// One fetch attempt: re-check the target, pick a random up-to-date
-  /// peer (avoiding the previous one when possible), send StateRequest,
-  /// re-arm the retry timer.
-  void state_fetch_tick();
-  void disarm_state_fetch_timer();
-  /// State digest of this log extended by `extra` (what maybe_checkpoint
-  /// hashes, and what a state response's entries must reproduce).
-  [[nodiscard]] crypto::Digest state_digest_with(
-      const std::vector<ExecutedEntry>& extra) const;
-
-  // --- helpers ------------------------------------------------------------
-  // Byte accounting is derived from the payload itself
-  // (payload_wire_bytes), so variable-length payloads — batches,
-  // view changes carrying prepared batches — are charged what they carry.
-  void broadcast(Payload payload);
-  void send_to(net::NodeId to, Payload payload);
-  [[nodiscard]] double weight_of(ReplicaId r) const;
-  [[nodiscard]] double vote_weight(
-      const std::map<ReplicaId, double>& votes) const;
-  [[nodiscard]] bool is_quorum(double weight) const noexcept {
-    return weight > 2.0 * total_weight_ / 3.0;
-  }
-  [[nodiscard]] bool is_third(double weight) const noexcept {
-    return weight > total_weight_ / 3.0;
-  }
-  /// Registers a liveness deadline for a request id that just became
-  /// pending (no-op if one is already tracked — retransmissions must not
-  /// push a starved request's deadline back).
-  void track_request_deadline(std::uint64_t request_id);
-  /// Rebases every tracked deadline to now + request_timeout (view
-  /// installation and state-transfer adoption grant the new regime a
-  /// fresh timeout, as the single-timer design did).
-  void refresh_request_deadlines();
-  void arm_request_timer();
-  void disarm_request_timer();
-  void request_timer_fired();
-  /// kCollude: endorse (prepare + commit) a digest we heard of, once.
-  void collude_endorse(View v, SeqNum seq, const crypto::Digest& digest);
-  void arm_viewchange_timer(View target);
-  void disarm_viewchange_timer();
-  void arm_batch_timer();
-  void disarm_batch_timer();
-
-  ReplicaId id_;
-  std::vector<double> weights_;
-  std::vector<crypto::PublicKey> directory_;
-  double total_weight_ = 0.0;
-  crypto::KeyRegistry* registry_;
-  crypto::KeyPair keys_;
-  net::SimNetwork* network_;
-  ReplicaOptions options_;
-
-  View view_ = 0;
-  bool in_view_change_ = false;
-  View pending_view_ = 0;
-  SeqNum next_seq_ = 1;  // primary's allocator
-  std::map<SeqNum, Slot> slots_;
-  SeqNum last_executed_ = 0;
-  std::vector<ExecutedEntry> executed_;
-  std::unordered_map<std::uint64_t, Request> pending_requests_;
-  std::unordered_map<std::uint64_t, SeqNum> assigned_;  // primary only
-  std::unordered_map<std::uint64_t, bool> executed_ids_;
-
-  /// Primary-side batching: requests accepted but not yet proposed, in
-  /// arrival order, plus their ids for O(1) duplicate suppression.
-  std::vector<Request> batch_queue_;
-  std::unordered_map<std::uint64_t, bool> queued_ids_;
-  /// A batch cut is waiting for the stable checkpoint to advance
-  /// (high-watermark back-pressure).
-  bool cut_deferred_ = false;
-  std::uint64_t proposals_deferred_ = 0;
-
-  SeqNum stable_checkpoint_ = 0;
-  crypto::Digest stable_checkpoint_digest_;
-  /// The signed vote quorum that made stable_checkpoint_ stable — what a
-  /// StateResponse hands a requester as proof.
-  std::vector<SignedCheckpoint> stable_checkpoint_proof_;
-  SeqNum last_checkpoint_sent_ = 0;
-  /// seq -> state digest -> voters (digest-keyed so a Byzantine replica
-  /// cannot contribute to a checkpoint it does not actually hold).
-  /// Bounded two ways: seqs outside the watermark window above the
-  /// stable checkpoint are rejected, and each sender gets one vote per
-  /// seq — so Byzantine peers cannot bloat the map with far-future seqs
-  /// or per-seq digest spam.
-  std::map<SeqNum,
-           std::map<crypto::Digest, std::map<ReplicaId, SignedCheckpoint>>>
-      checkpoint_votes_;
-  /// Highest checkpoint/stable seq each peer has credibly (signed)
-  /// claimed; fixed size n. Feeds claims_catchup_target().
-  std::vector<SeqNum> peer_claims_;
-
-  std::map<View, std::vector<SignedViewChange>> viewchange_votes_;
-  View newview_assembled_for_ = 0;
-  std::uint64_t view_changes_started_ = 0;
-  /// The NEW-VIEW we last installed, relayed inside state responses so a
-  /// requester that missed the view change can re-verify and adopt it.
-  std::optional<NewView> last_new_view_;
-
-  /// State-transfer fetch machine: the timer doubles as the state (armed
-  /// = a fetch is scheduled or awaiting a response).
-  std::optional<sim::EventId> state_fetch_timer_;
-  std::optional<ReplicaId> last_fetch_peer_;
-  support::Rng st_rng_;
-  std::uint64_t state_transfers_completed_ = 0;
-  std::uint64_t state_transfers_rejected_ = 0;
-  std::uint64_t state_transfer_requests_ = 0;
-  std::uint64_t state_transfer_bytes_ = 0;
-
-  /// Normal-case messages that arrived for a view we have not installed
-  /// yet (we lag behind a view change); replayed after installation.
-  /// Replaces the retransmission machinery of a real deployment.
-  std::vector<Envelope> future_messages_;
-
-  /// Per-request liveness deadlines in arrival order. Deadlines are
-  /// nondecreasing (every entry is its arm-time + request_timeout), so
-  /// one simulator timer armed for the front entry suffices; entries
-  /// whose request already executed are popped lazily. This is what
-  /// detects client-selective starvation: progress on *other* requests
-  /// never pushes a starved request's deadline back.
-  std::deque<std::pair<double, std::uint64_t>> request_deadlines_;
-  /// kCollude bookkeeping: digests already endorsed per seq (pruned with
-  /// slots_ at checkpoints).
-  std::map<SeqNum, std::vector<crypto::Digest>> colluded_;
-  std::uint64_t corrupted_rejected_ = 0;
-
-  std::optional<sim::EventId> request_timer_;
-  std::optional<sim::EventId> viewchange_timer_;
-  std::optional<sim::EventId> batch_timer_;
-  bool started_ = false;
-
-  /// Modeled verification cores; null under crypto=free (the historical
-  /// inline path, bit-identical to pre-cost-model builds).
-  std::unique_ptr<runtime::WorkerPool> verify_pool_;
-  /// Signing accumulator: the simulated time at which the protocol core
-  /// finishes its last queued signature. Each send under a non-free cost
-  /// model is scheduled at max(now, sign_ready_at_) + sign_seconds, so
-  /// back-to-back sends serialize the way one signing core would.
-  double sign_ready_at_ = 0.0;
-};
+using Behavior = replication::Behavior;
+using ReplicaOptions = replication::ReplicaOptions;
+using Replica = replication::Pbft;
 
 }  // namespace findep::bft

@@ -32,8 +32,13 @@ CampaignCellScenario::CampaignCellScenario(Params params)
 // Axis-explicit (the same "axis=value" form ParamSet::label() renders):
 // the campaign reporter parses target/fault back out of instance names.
 std::string CampaignCellScenario::grid_label(const Params& p) {
-  return "target=" + p.target + " fault=" + p.fault + " rate=" +
-         runtime::ParamValue(p.rate).to_string() + " n=" + std::to_string(p.n);
+  std::string label = "target=" + p.target + " fault=" + p.fault +
+                      " rate=" + runtime::ParamValue(p.rate).to_string() +
+                      " n=" + std::to_string(p.n);
+  if (p.protocol_axis) {
+    label += std::string(" proto=") + replication::protocol_name(p.protocol);
+  }
+  return label;
 }
 
 std::string CampaignCellScenario::name() const {
@@ -70,6 +75,7 @@ runtime::MetricRecord CampaignCellScenario::run(
   // Small checkpoint distance so a healed outage spans several intervals
   // and state transfer (not just live traffic) does the catching up.
   options.replica.checkpoint_interval = 4;
+  options.protocol = params_.protocol;
   bft::BftCluster cluster(params_.n, options,
                           planned_behaviors(plan, params_.n));
   schedule_fault(plan, cluster, link_rng);
@@ -144,14 +150,34 @@ const runtime::ScenarioRegistration kCampaign{{
     .description = "fault-injection campaign cells: target fleet × "
                    "component-correlated fault kind × exploitability rate, "
                    "classified as detected/recovered/safety/liveness",
-    .grids = {CampaignCellScenario::default_grid()},
+    .grids =
+        {
+            CampaignCellScenario::default_grid(),
+            // A compact HotStuff block over the same fault engine: the
+            // faults live entirely in the network and behaviour layers,
+            // so the campaign machinery is protocol-neutral — only the
+            // detection evidence differs (pacemaker timeouts instead of
+            // view changes).
+            runtime::ParamGrid{{"target", {"uniform", "diverse"}},
+                               {"fault",
+                                {"crash", "partition", "corrupt", "censor"}},
+                               {"rate", {1.0}},
+                               {"n", {7}},
+                               {"protocol", {"hotstuff"}}},
+        },
     .factory =
         [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {
+      const std::string protocol =
+          p.has("protocol") ? p.get_string("protocol") : "";
       return std::make_unique<CampaignCellScenario>(CampaignCellScenario::Params{
           .target = p.get_string("target"),
           .fault = p.get_string("fault"),
           .rate = p.get_double("rate"),
-          .n = p.get_size("n")});
+          .n = p.get_size("n"),
+          .protocol = protocol.empty()
+                          ? replication::Protocol::kPbft
+                          : replication::parse_protocol(protocol),
+          .protocol_axis = !protocol.empty()});
     },
 }};
 

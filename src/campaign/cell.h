@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <string>
 
+#include "replication/options.h"
 #include "runtime/param.h"
 #include "runtime/scenario.h"
 
@@ -38,6 +39,11 @@ class CampaignCellScenario : public runtime::Scenario {
     std::size_t requests = 21;
     double period_s = 0.5;
     double deadline = 45.0;
+    /// Ordering protocol under fault (the optional `protocol` axis).
+    /// Cells from protocol-less grids keep their historical labels; a
+    /// grid spelling the axis out appends " proto=<name>" (always last).
+    replication::Protocol protocol = replication::Protocol::kPbft;
+    bool protocol_axis = false;
     std::string label;
   };
 

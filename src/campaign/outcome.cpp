@@ -12,12 +12,12 @@ std::size_t unresolved_stragglers(const bft::BftCluster& cluster,
   bft::SeqNum horizon = 0;
   for (std::size_t r = 0; r < cluster.size(); ++r) {
     if (is_victim[r]) continue;
-    horizon = std::max(horizon, cluster.replica(r).last_executed());
+    horizon = std::max(horizon, cluster.node(r).last_executed());
   }
   std::size_t stragglers = 0;
   for (std::size_t r = 0; r < cluster.size(); ++r) {
     if (is_victim[r]) continue;
-    if (cluster.replica(r).last_executed() < horizon) ++stragglers;
+    if (cluster.node(r).last_executed() < horizon) ++stragglers;
   }
   return stragglers;
 }
@@ -35,12 +35,15 @@ Outcome classify_outcome(const bft::BftCluster& cluster,
   for (const std::size_t r : plan.victims) is_victim[r] = true;
 
   for (std::size_t r = 0; r < cluster.size(); ++r) {
-    const bft::Replica& replica = cluster.replica(r);
+    // Protocol-neutral detection evidence: PBFT reports view changes
+    // started (and a nonzero installed view), HotStuff pacemaker
+    // timeouts. For PBFT these are the exact expressions the classifier
+    // always used, so pbft campaign outputs are unchanged.
+    const replication::OrderingProtocol& replica = cluster.node(r);
     out.max_view_changes =
-        std::max(out.max_view_changes, replica.view_changes_started());
+        std::max(out.max_view_changes, replica.progress_disruptions());
     out.corrupted_rejected += replica.corrupted_rejected();
-    if (!is_victim[r] &&
-        (replica.view_changes_started() > 0 || replica.view() > 0)) {
+    if (!is_victim[r] && replica.observed_disruption()) {
       out.detected = true;
     }
   }

@@ -1,4 +1,4 @@
-#include "bft/replica.h"
+#include "replication/pbft.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -21,185 +21,43 @@
     }                                                                \
   } while (0)
 
-namespace findep::bft {
+namespace findep::replication {
 
-Batch Replica::noop_batch() { return Batch{}; }
+Batch Pbft::noop_batch() { return Batch{}; }
 
-Replica::Replica(ReplicaId id, std::vector<double> weights,
-                 std::vector<crypto::PublicKey> directory,
-                 crypto::KeyRegistry& registry, crypto::KeyPair keys,
-                 net::SimNetwork& network, ReplicaOptions options)
-    : id_(id),
-      weights_(std::move(weights)),
-      directory_(std::move(directory)),
-      registry_(&registry),
-      keys_(std::move(keys)),
-      network_(&network),
-      options_(options),
-      st_rng_(support::mix64(options.rng_seed)) {
-  FINDEP_REQUIRE(id_ < weights_.size());
-  FINDEP_REQUIRE(weights_.size() == directory_.size());
-  FINDEP_REQUIRE(weights_.size() >= 4);  // tolerate at least one fault
-  FINDEP_REQUIRE(options_.request_timeout > 0.0);
-  FINDEP_REQUIRE(options_.view_change_timeout > 0.0);
-  FINDEP_REQUIRE_MSG(options_.checkpoint_interval > 0,
-                     "checkpoint_interval must be >= 1: an interval of 0 "
-                     "would re-checkpoint on every execution and never "
-                     "bound the vote window");
-  FINDEP_REQUIRE(options_.batch_size >= 1);
-  FINDEP_REQUIRE(options_.batch_timeout > 0.0);
-  FINDEP_REQUIRE_MSG(
-      options_.batch_timeout < options_.request_timeout,
-      "batch_timeout must stay strictly below request_timeout: a partial "
-      "batch waiting out a slower batch timer lets the backups' request "
-      "timers fire first, costing a spurious view change per lull");
-  FINDEP_REQUIRE(options_.state_transfer_grace > 0.0);
-  FINDEP_REQUIRE(options_.state_transfer_timeout > 0.0);
-  FINDEP_REQUIRE_MSG(
-      options_.high_watermark_window >= 2 * options_.checkpoint_interval,
-      "high_watermark_window must be at least 2 * checkpoint_interval: "
-      "execution legitimately runs up to an interval ahead of stability, "
-      "and a tighter bound would throttle a perfectly healthy primary");
-  for (const double w : weights_) {
-    FINDEP_REQUIRE(w > 0.0);
-    total_weight_ += w;
-  }
-  FINDEP_REQUIRE_MSG(directory_[id_] == keys_.public_key(),
-                     "key pair must match the directory entry");
-  FINDEP_REQUIRE(options_.crypto_workers >= 1);
-  peer_claims_.assign(weights_.size(), 0);
-  if (!options_.cost_model.is_free()) {
-    verify_pool_ = std::make_unique<runtime::WorkerPool>(
-        network_->simulator(), options_.crypto_workers);
-  }
-}
+Pbft::Pbft(ReplicaId id, std::vector<double> weights,
+           std::vector<crypto::PublicKey> directory,
+           crypto::KeyRegistry& registry, crypto::KeyPair keys,
+           net::SimNetwork& network, ReplicaOptions options)
+    : OrderingProtocol(id, std::move(weights), std::move(directory),
+                       registry, std::move(keys), network,
+                       std::move(options), Protocol::kPbft),
+      ckpt_(harness_),
+      fetch_(harness_,
+             StateFetchMachine::Hooks{
+                 [this] { return last_executed_; },
+                 [this](ReplicaId peer) {
+                   send_to(peer, StateRequest{last_executed_});
+                 }}) {}
 
-double Replica::weight_of(ReplicaId r) const {
-  FINDEP_REQUIRE(r < weights_.size());
-  return weights_[r];
-}
+void Pbft::start() { harness_.start(); }
 
-double Replica::vote_weight(
-    const std::map<ReplicaId, double>& votes) const {
-  double sum = 0.0;
-  for (const auto& [replica, weight] : votes) sum += weight;
-  return sum;
-}
+// --- dispatch --------------------------------------------------------------
 
-void Replica::start() {
-  FINDEP_REQUIRE_MSG(!started_, "start() called twice");
-  started_ = true;
-  network_->attach(id_,
-                   [this](const net::Message& msg) { on_message(msg); });
-}
-
-void Replica::broadcast(Payload payload) {
-  if (options_.behavior == Behavior::kSilent) return;
-  const std::uint64_t bytes = payload_wire_bytes(payload);
-  // One shared body for the whole fan-out (every replica is attached, so
-  // the network broadcast reaches exactly the other replicas)...
-  const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
-  if (options_.cost_model.is_free()) {
-    network_->broadcast(id_, wire, bytes);
-    // ...then PBFT's "send to yourself" leg, sharing the same body.
-    network_->send(id_, id_, wire, bytes);
-    return;
-  }
-  // Modeled signing occupies the protocol core: back-to-back sends
-  // serialize behind the sign accumulator, and the wire only leaves once
-  // its signature is done. One signature covers the whole fan-out.
-  sim::Simulator& sim = network_->simulator();
-  sign_ready_at_ = std::max(sign_ready_at_, sim.now()) +
-                   options_.cost_model.sign_seconds();
-  sim.schedule_at(sign_ready_at_, [this, wire, bytes] {
-    network_->broadcast(id_, wire, bytes);
-    network_->send(id_, id_, wire, bytes);
-  });
-}
-
-void Replica::send_to(net::NodeId to, Payload payload) {
-  if (options_.behavior == Behavior::kSilent) return;
-  const std::uint64_t bytes = payload_wire_bytes(payload);
-  // Forwarding a client request is a relay of the client's own signed
-  // message, not a statement by this replica — a real deployment ships
-  // the client envelope through unchanged, so relays are never charged
-  // sign time (and must not serialize behind protocol sends: a backup
-  // relaying a big request burst would otherwise delay its own prepares
-  // by the whole burst's worth of signing).
-  const bool relay = std::holds_alternative<Request>(payload);
-  const net::Envelope wire(make_envelope(id_, keys_, std::move(payload)));
-  if (options_.cost_model.is_free() || relay) {
-    network_->send(id_, to, wire, bytes);
-    return;
-  }
-  sim::Simulator& sim = network_->simulator();
-  sign_ready_at_ = std::max(sign_ready_at_, sim.now()) +
-                   options_.cost_model.sign_seconds();
-  sim.schedule_at(sign_ready_at_, [this, to, wire, bytes] {
-    network_->send(id_, to, wire, bytes);
-  });
-}
-
-void Replica::on_message(const net::Message& raw) {
-  if (raw.corrupted) {
-    // In-flight bit flip: the signature check a real deployment runs over
-    // the wire bytes fails, so the message dies before any dispatch. The
-    // rejection is counted — observable detection of the fault.
-    ++corrupted_rejected_;
-    return;
-  }
-  if (options_.behavior == Behavior::kSilent) return;
-  const Envelope* env = raw.envelope.get<Envelope>();
-  if (env == nullptr) return;  // foreign traffic
-  // Authentication: the claimed sender key must be the directory entry
-  // (clients are outside the directory and allowed for Request only).
-  const bool from_replica = env->sender < weights_.size();
-  if (from_replica && directory_[env->sender] != env->sender_key) return;
-  if (verify_pool_ == nullptr || env->sender == id_) {
-    // crypto=free (no pool), or our own loopback leg — a replica does
-    // not re-verify its own signature, so the self-send stays on the
-    // historical inline path even under a modeled cost.
-    if (!verify_envelope(*registry_, *env)) return;
-    dispatch_payload(*env, raw.from, raw.bytes);
-    return;
-  }
-  offload_verify(raw, *env);
-}
-
-void Replica::offload_verify(const net::Message& raw, const Envelope& env) {
-  // Client requests are speculative: the protocol tolerates them late
-  // (they only seed batches), so quorum-forming consensus and recovery
-  // traffic always verifies first.
-  const runtime::TaskPriority priority =
-      std::holds_alternative<Request>(env.payload)
-          ? runtime::TaskPriority::kSpeculative
-          : runtime::TaskPriority::kCritical;
+double Pbft::verify_extra_cost(const Payload& payload) const {
   // Quorum proofs ride one envelope and are batch-verified: a NEW-VIEW
   // carries its view-change quorum, a state response its checkpoint vote
-  // quorum. Everything else is one signature check.
-  double cost = options_.cost_model.verify_seconds();
-  if (const auto* nv = std::get_if<NewView>(&env.payload)) {
-    cost += options_.cost_model.batch_verify_seconds(nv->proofs.size());
-  } else if (const auto* resp = std::get_if<StateResponse>(&env.payload)) {
-    cost += options_.cost_model.batch_verify_seconds(resp->proof.size());
+  // quorum.
+  if (const auto* nv = std::get_if<NewView>(&payload)) {
+    return options().cost_model.batch_verify_seconds(nv->proofs.size());
   }
-  // Keep the shared envelope body alive until the completion runs; the
-  // completion re-reads it and takes the exact inline dispatch path.
-  net::Envelope keep = raw.envelope;
-  const net::NodeId from = raw.from;
-  const std::uint64_t bytes = raw.bytes;
-  verify_pool_->submit(
-      priority, cost, make_stale_check(env.payload),
-      [this, keep = std::move(keep), from, bytes](bool dropped) {
-        if (dropped) return;
-        const Envelope* env = keep.get<Envelope>();
-        FINDEP_ASSERT(env != nullptr);
-        if (!verify_envelope(*registry_, *env)) return;
-        dispatch_payload(*env, from, bytes);
-      });
+  if (const auto* resp = std::get_if<StateResponse>(&payload)) {
+    return options().cost_model.batch_verify_seconds(resp->proof.size());
+  }
+  return 0.0;
 }
 
-runtime::WorkerPool::StaleCheck Replica::make_stale_check(
+runtime::WorkerPool::StaleCheck Pbft::verify_stale_check(
     const Payload& payload) const {
   // Only messages the handler would provably ignore are shed: normal-case
   // traffic from views older than the installed one, and view-change /
@@ -224,9 +82,9 @@ runtime::WorkerPool::StaleCheck Replica::make_stale_check(
       payload);
 }
 
-void Replica::dispatch_payload(const Envelope& env, net::NodeId raw_from,
-                               std::uint64_t raw_bytes) {
-  const bool from_replica = env.sender < weights_.size();
+void Pbft::dispatch_payload(const Envelope& env, net::NodeId raw_from,
+                            std::uint64_t raw_bytes) {
+  const bool from_replica = env.sender < harness_.n();
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -262,12 +120,14 @@ void Replica::dispatch_payload(const Envelope& env, net::NodeId raw_from,
             state_transfer_bytes_ += raw_bytes;
             on_state_response(m, env.sender);
           }
+          // HotStuff payloads fall through: a PBFT replica ignores the
+          // other lane's traffic entirely.
         }
       },
       env.payload);
 }
 
-void Replica::replay_future_messages() {
+void Pbft::replay_future_messages() {
   std::vector<Envelope> pending;
   pending.swap(future_messages_);
   for (Envelope& env : pending) {
@@ -296,14 +156,14 @@ void Replica::replay_future_messages() {
 
 // --- normal case ----------------------------------------------------------
 
-void Replica::submit(const Request& request) {
-  if (options_.behavior == Behavior::kSilent) return;
-  on_request(request, id_);
+void Pbft::submit(const Request& request) {
+  if (options().behavior == Behavior::kSilent) return;
+  on_request(request, id());
 }
 
-void Replica::on_request(const Request& request, net::NodeId from) {
+void Pbft::on_request(const Request& request, net::NodeId from) {
   if (request.id != 0 && executed_ids_.contains(request.id)) return;
-  if (options_.behavior == Behavior::kCensor && (request.id & 1) != 0) {
+  if (options().behavior == Behavior::kCensor && (request.id & 1) != 0) {
     return;  // client-selective starvation: odd-id requests vanish here
   }
   if (!pending_requests_.contains(request.id)) {
@@ -314,13 +174,13 @@ void Replica::on_request(const Request& request, net::NodeId from) {
   if (in_view_change_) return;
   if (is_primary()) {
     enqueue_for_proposal(request);
-  } else if (from >= weights_.size() || from == id_) {
+  } else if (from >= harness_.n() || from == id()) {
     // Came from a client (or local submit): relay to the primary.
     send_to(primary_of(view_), request);
   }
 }
 
-void Replica::enqueue_for_proposal(const Request& request) {
+void Pbft::enqueue_for_proposal(const Request& request) {
   FINDEP_REQUIRE(is_primary());
   if (request.id != 0 &&
       (queued_ids_.contains(request.id) || assigned_.contains(request.id) ||
@@ -329,7 +189,7 @@ void Replica::enqueue_for_proposal(const Request& request) {
   }
   batch_queue_.push_back(request);
   if (request.id != 0) queued_ids_[request.id] = true;
-  if (batch_queue_.size() >= options_.batch_size) {
+  if (batch_queue_.size() >= options().batch_size) {
     // Cut synchronously: with batch_size = 1 every request is proposed
     // the moment it arrives and the batch timer is never armed, which is
     // exactly the unbatched protocol.
@@ -339,10 +199,10 @@ void Replica::enqueue_for_proposal(const Request& request) {
   }
 }
 
-void Replica::cut_batch() {
+void Pbft::cut_batch() {
   disarm_batch_timer();
   if (batch_queue_.empty()) return;
-  if (next_seq_ > stable_checkpoint_ + options_.high_watermark_window) {
+  if (next_seq_ > ckpt_.stable() + options().high_watermark_window) {
     // High-watermark back-pressure: the queue holds the batch until the
     // stable checkpoint advances (retry_deferred_cut), bounding in-flight
     // consensus state instead of letting a fast primary outrun a slow
@@ -360,7 +220,7 @@ void Replica::cut_batch() {
   propose(std::move(batch));
 }
 
-void Replica::retry_deferred_cut() {
+void Pbft::retry_deferred_cut() {
   if (!cut_deferred_) return;
   cut_deferred_ = false;
   // A view change may have demoted us since the deferral; install_new_view
@@ -369,19 +229,18 @@ void Replica::retry_deferred_cut() {
   cut_batch();  // re-defers itself if the watermark still binds
 }
 
-void Replica::propose(Batch batch) {
+void Pbft::propose(Batch batch) {
   FINDEP_REQUIRE(is_primary());
   const SeqNum seq = next_seq_++;
   FINDEP_BFT_TRACE("t=%.3f [%u] propose seq=%llu view=%llu size=%zu\n",
-                   network_->simulator().now(), id_,
-                   (unsigned long long)seq, (unsigned long long)view_,
-                   batch.size());
+                   sim().now(), id(), (unsigned long long)seq,
+                   (unsigned long long)view_, batch.size());
   for (const Request& r : batch.requests) {
     if (r.id != 0) assigned_[r.id] = seq;
   }
 
-  if (options_.behavior == Behavior::kEquivocate ||
-      options_.behavior == Behavior::kCollude) {
+  if (options().behavior == Behavior::kEquivocate ||
+      options().behavior == Behavior::kCollude) {
     // Conflicting proposals: the real batch to the first half, a
     // fabricated one (every request forged) to the second half. A lone
     // equivocator is harmless — neither half can reach a prepared
@@ -404,11 +263,11 @@ void Replica::propose(Batch batch) {
     }
     const PrePrepare real{view_, seq, std::move(batch)};
     const PrePrepare fake{view_, seq, std::move(forged_batch)};
-    for (ReplicaId r = 0; r < weights_.size(); ++r) {
-      if (r == id_) continue;
+    for (ReplicaId r = 0; r < harness_.n(); ++r) {
+      if (r == id()) continue;
       send_to(r, r % 2 == 0 ? Payload{real} : Payload{fake});
     }
-    if (options_.behavior == Behavior::kCollude) {
+    if (options().behavior == Behavior::kCollude) {
       collude_endorse(view_, seq, real.batch.digest());
       collude_endorse(view_, seq, fake.batch.digest());
     }
@@ -418,9 +277,9 @@ void Replica::propose(Batch batch) {
   broadcast(PrePrepare{view_, seq, std::move(batch)});
 }
 
-void Replica::on_preprepare(const PrePrepare& pp, ReplicaId from) {
+void Pbft::on_preprepare(const PrePrepare& pp, ReplicaId from) {
   if (in_view_change_ || pp.view != view_) return;
-  if (options_.behavior == Behavior::kCollude) {
+  if (options().behavior == Behavior::kCollude) {
     collude_endorse(pp.view, pp.seq, pp.batch.digest());
   }
   if (from != primary_of(pp.view)) return;
@@ -432,7 +291,7 @@ void Replica::on_preprepare(const PrePrepare& pp, ReplicaId from) {
   accept_preprepare(pp);
 }
 
-void Replica::accept_preprepare(const PrePrepare& pp) {
+void Pbft::accept_preprepare(const PrePrepare& pp) {
   Slot& slot = slots_[pp.seq];
   const crypto::Digest digest = pp.batch.digest();
   if (slot.have_preprepare && slot.batch_digest != digest) {
@@ -445,9 +304,9 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
   slot.prepare_votes[digest][primary_of(pp.view)] =
       weight_of(primary_of(pp.view));
 
-  if (!slot.sent_prepare && id_ != primary_of(pp.view)) {
+  if (!slot.sent_prepare && id() != primary_of(pp.view)) {
     slot.sent_prepare = true;
-    slot.prepare_votes[digest][id_] = weight_of(id_);
+    slot.prepare_votes[digest][id()] = weight_of(id());
     broadcast(Prepare{pp.view, pp.seq, digest});
   }
   // Track the batch's requests for liveness even if they reached us only
@@ -464,9 +323,9 @@ void Replica::accept_preprepare(const PrePrepare& pp) {
   maybe_prepared(pp.seq);
 }
 
-void Replica::on_prepare(const Prepare& p, ReplicaId from) {
+void Pbft::on_prepare(const Prepare& p, ReplicaId from) {
   if (in_view_change_ || p.view != view_) return;
-  if (options_.behavior == Behavior::kCollude) {
+  if (options().behavior == Behavior::kCollude) {
     collude_endorse(p.view, p.seq, p.request_digest);
   }
   if (p.seq <= last_executed_) return;
@@ -475,7 +334,7 @@ void Replica::on_prepare(const Prepare& p, ReplicaId from) {
   maybe_prepared(p.seq);
 }
 
-void Replica::maybe_prepared(SeqNum seq) {
+void Pbft::maybe_prepared(SeqNum seq) {
   const auto it = slots_.find(seq);
   if (it == slots_.end()) return;
   Slot& slot = it->second;
@@ -488,15 +347,15 @@ void Replica::maybe_prepared(SeqNum seq) {
   slot.prepared_view = view_;
   if (!slot.sent_commit) {
     slot.sent_commit = true;
-    slot.commit_votes[slot.batch_digest][id_] = weight_of(id_);
+    slot.commit_votes[slot.batch_digest][id()] = weight_of(id());
     broadcast(Commit{view_, seq, slot.batch_digest});
   }
   maybe_committed(seq);
 }
 
-void Replica::on_commit(const Commit& c, ReplicaId from) {
+void Pbft::on_commit(const Commit& c, ReplicaId from) {
   if (in_view_change_ || c.view != view_) return;
-  if (options_.behavior == Behavior::kCollude) {
+  if (options().behavior == Behavior::kCollude) {
     collude_endorse(c.view, c.seq, c.request_digest);
   }
   if (c.seq <= last_executed_) return;
@@ -505,9 +364,9 @@ void Replica::on_commit(const Commit& c, ReplicaId from) {
   maybe_committed(c.seq);
 }
 
-void Replica::collude_endorse(View v, SeqNum seq,
-                              const crypto::Digest& digest) {
-  FINDEP_ASSERT(options_.behavior == Behavior::kCollude);
+void Pbft::collude_endorse(View v, SeqNum seq,
+                           const crypto::Digest& digest) {
+  FINDEP_ASSERT(options().behavior == Behavior::kCollude);
   if (v != view_ || in_view_change_) return;
   if (seq <= last_executed_) return;
   // Lend full weight to every digest exactly once: prepare and commit
@@ -523,7 +382,7 @@ void Replica::collude_endorse(View v, SeqNum seq,
   broadcast(Commit{v, seq, digest});
 }
 
-void Replica::maybe_committed(SeqNum seq) {
+void Pbft::maybe_committed(SeqNum seq) {
   const auto it = slots_.find(seq);
   if (it == slots_.end()) return;
   Slot& slot = it->second;
@@ -533,13 +392,13 @@ void Replica::maybe_committed(SeqNum seq) {
   if (!is_quorum(vote_weight(votes->second))) return;
   slot.committed = true;
   FINDEP_BFT_TRACE("t=%.3f [%u] committed seq=%llu view=%llu le=%llu\n",
-                   network_->simulator().now(), id_,
-                   (unsigned long long)seq, (unsigned long long)view_,
+                   sim().now(), id(), (unsigned long long)seq,
+                   (unsigned long long)view_,
                    (unsigned long long)last_executed_);
   execute_ready();
 }
 
-void Replica::execute_ready() {
+void Pbft::execute_ready() {
   const SeqNum before = last_executed_;
   for (;;) {
     const auto it = slots_.find(last_executed_ + 1);
@@ -556,6 +415,7 @@ void Replica::execute_ready() {
         if (executed_ids_.contains(r.id)) continue;
         executed_ids_[r.id] = true;
         pending_requests_.erase(r.id);
+        commit_times_.emplace_back(r.id, sim().now());
       }
       executed_.push_back(ExecutedEntry{last_executed_, r});
     }
@@ -576,112 +436,64 @@ void Replica::execute_ready() {
   maybe_checkpoint();
 }
 
-crypto::Digest Replica::state_digest_with(
+crypto::Digest Pbft::state_digest_with(
     const std::vector<ExecutedEntry>& extra) const {
-  crypto::Sha256 h;
-  h.update("findep/bft/state/v1");
-  for (const ExecutedEntry& e : executed_) {
-    h.update_u64(e.seq);
-    h.update(e.request.digest().bytes);
-  }
-  for (const ExecutedEntry& e : extra) {
-    h.update_u64(e.seq);
-    h.update(e.request.digest().bytes);
-  }
-  return h.finish();
+  return state_digest_over(executed_, extra);
 }
 
-void Replica::maybe_checkpoint() {
-  if (last_executed_ < stable_checkpoint_ + options_.checkpoint_interval) {
-    return;
-  }
-  if (last_executed_ <= last_checkpoint_sent_) return;
-  const SeqNum seq = last_executed_;
-  last_checkpoint_sent_ = seq;
+void Pbft::maybe_checkpoint() {
+  const SeqNum seq =
+      ckpt_.maybe_emit(last_executed_, options().checkpoint_interval);
+  if (seq == 0) return;
   broadcast(Checkpoint{seq, state_digest_with({})});
 }
 
-void Replica::on_checkpoint(const Checkpoint& cp, ReplicaId from,
-                            const crypto::Signature& signature) {
+void Pbft::on_checkpoint(const Checkpoint& cp, ReplicaId from,
+                         const crypto::Signature& signature) {
   // A signed checkpoint is also a claim about the sender's execution
   // horizon; record it before any windowing so far-behind replicas can
   // detect credible progress beyond their vote window (state transfer).
-  note_peer_claim(from, cp.seq);
-  if (cp.seq <= stable_checkpoint_) return;
-  // Watermark window: votes are only *tracked* within a bounded range
-  // above the stable checkpoint (allowing for our own in-flight
-  // execution horizon, which can legitimately run ahead of stability).
-  // Anything beyond is dropped — a Byzantine peer advertising arbitrary
-  // far-future seqs cannot bloat the vote map; genuinely missed
-  // checkpoints are recovered through state transfer, not votes.
-  const SeqNum window_top = std::max(stable_checkpoint_, last_executed_) +
-                            2 * options_.checkpoint_interval;
-  if (cp.seq > window_top) return;
-  auto& by_digest = checkpoint_votes_[cp.seq];
-  // One vote per sender per seq (first wins): bounds the per-seq digest
-  // fan-out an equivocating voter could otherwise create.
-  for (const auto& [digest, votes] : by_digest) {
-    if (votes.contains(from)) return;
+  fetch_.note_claim(from, cp.seq);
+  if (!ckpt_.on_vote(cp, from, signature, last_executed_,
+                     options().checkpoint_interval)) {
+    return;
   }
-  auto& votes = by_digest[cp.state_digest];
-  votes[from] = SignedCheckpoint{from, cp, signature};
-  double weight = 0.0;
-  for (const auto& [voter, vote] : votes) weight += weight_of(voter);
-  if (!is_quorum(weight)) return;
-
-  stable_checkpoint_ = cp.seq;
-  stable_checkpoint_digest_ = cp.state_digest;
-  stable_checkpoint_proof_.clear();
-  stable_checkpoint_proof_.reserve(votes.size());
-  for (const auto& [voter, vote] : votes) {
-    stable_checkpoint_proof_.push_back(vote);
-  }
-  // Adopting a remote stable checkpoint retires any pending own
-  // checkpoint at or below it: re-broadcasting a stale own checkpoint
-  // for an already-stable seq would only feed dead vote rounds (two
-  // simultaneous laggards could otherwise stall the next quorum).
-  last_checkpoint_sent_ = std::max(last_checkpoint_sent_, stable_checkpoint_);
   // Prune consensus state at and below the stable checkpoint — but never
   // above our own execution horizon: a replica that lags behind a remote
   // checkpoint keeps its in-flight slots and can still finish them from
   // live traffic while a state transfer is pending.
-  const SeqNum prune_to = std::min(stable_checkpoint_, last_executed_);
+  const SeqNum prune_to = std::min(ckpt_.stable(), last_executed_);
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= prune_to ? slots_.erase(it) : std::next(it);
   }
   colluded_.erase(colluded_.begin(), colluded_.upper_bound(prune_to));
-  for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
-    it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
-                                         : std::next(it);
-  }
-  if (stable_checkpoint_ > last_executed_) maybe_schedule_state_fetch();
+  if (ckpt_.stable() > last_executed_) fetch_.maybe_schedule();
   retry_deferred_cut();  // the raised watermark may unblock a deferred cut
 }
 
 // --- timers ----------------------------------------------------------------
 
-void Replica::track_request_deadline(std::uint64_t request_id) {
+void Pbft::track_request_deadline(std::uint64_t request_id) {
   // Called exactly when `request_id` first enters pending_requests_, so
   // deadlines are arrival-ordered and nondecreasing: the front of the
   // deque is always the earliest live deadline. Retransmissions do not
   // reach here (the caller guards on !contains), so a retried request
   // keeps its original deadline instead of being silently extended.
-  request_deadlines_.emplace_back(
-      network_->simulator().now() + options_.request_timeout, request_id);
+  request_deadlines_.emplace_back(sim().now() + options().request_timeout,
+                                  request_id);
 }
 
-void Replica::refresh_request_deadlines() {
+void Pbft::refresh_request_deadlines() {
   // A view change is a cluster-wide progress event: every still-pending
   // request gets a fresh grace period under the new primary. Deadlines
   // are rewritten in place — the deque stays arrival-ordered and all
   // entries share one timestamp, so the nondecreasing invariant holds.
-  const double deadline =
-      network_->simulator().now() + options_.request_timeout;
+  const double deadline = sim().now() + options().request_timeout;
   for (auto& entry : request_deadlines_) entry.first = deadline;
 }
 
-void Replica::arm_request_timer() {
-  if (options_.behavior == Behavior::kSilent) return;
+void Pbft::arm_request_timer() {
+  if (options().behavior == Behavior::kSilent) return;
   // Lazily shed entries whose request already executed (or was never
   // tracked locally): the deadline queue is append-only on arrival, so
   // the front may be stale.
@@ -690,16 +502,15 @@ void Replica::arm_request_timer() {
     request_deadlines_.pop_front();
   }
   if (request_timer_.has_value() || request_deadlines_.empty()) return;
-  const double wait = std::max(
-      0.0, request_deadlines_.front().first - network_->simulator().now());
-  request_timer_ =
-      network_->simulator().schedule_after(wait, [this] {
-        request_timer_.reset();
-        request_timer_fired();
-      });
+  const double wait =
+      std::max(0.0, request_deadlines_.front().first - sim().now());
+  request_timer_ = sim().schedule_after(wait, [this] {
+    request_timer_.reset();
+    request_timer_fired();
+  });
 }
 
-void Replica::request_timer_fired() {
+void Pbft::request_timer_fired() {
   while (!request_deadlines_.empty() &&
          !pending_requests_.contains(request_deadlines_.front().second)) {
     request_deadlines_.pop_front();
@@ -709,8 +520,7 @@ void Replica::request_timer_fired() {
   // Epsilon absorbs the float roundoff of scheduling `deadline - now`
   // relative to a moved `now`; deadlines are seconds-scale, so 1ns of
   // slack cannot conflate two distinct timeouts.
-  if (request_deadlines_.front().first <=
-      network_->simulator().now() + 1e-9) {
+  if (request_deadlines_.front().first <= sim().now() + 1e-9) {
     // The front request outlived its own timeout — progress elsewhere
     // does not excuse the primary (client-selective starvation is a
     // fault, not a scheduling artifact).
@@ -722,17 +532,17 @@ void Replica::request_timer_fired() {
   arm_request_timer();
 }
 
-void Replica::disarm_request_timer() {
+void Pbft::disarm_request_timer() {
   if (request_timer_.has_value()) {
-    network_->simulator().cancel(*request_timer_);
+    sim().cancel(*request_timer_);
     request_timer_.reset();
   }
 }
 
-void Replica::arm_viewchange_timer(View target) {
+void Pbft::arm_viewchange_timer(View target) {
   disarm_viewchange_timer();
-  viewchange_timer_ = network_->simulator().schedule_after(
-      options_.view_change_timeout, [this, target] {
+  viewchange_timer_ = sim().schedule_after(
+      options().view_change_timeout, [this, target] {
         viewchange_timer_.reset();
         if (in_view_change_ && pending_view_ == target) {
           start_view_change(target + 1);  // new primary also failed
@@ -740,42 +550,40 @@ void Replica::arm_viewchange_timer(View target) {
       });
 }
 
-void Replica::disarm_viewchange_timer() {
+void Pbft::disarm_viewchange_timer() {
   if (viewchange_timer_.has_value()) {
-    network_->simulator().cancel(*viewchange_timer_);
+    sim().cancel(*viewchange_timer_);
     viewchange_timer_.reset();
   }
 }
 
-void Replica::arm_batch_timer() {
+void Pbft::arm_batch_timer() {
   if (batch_timer_.has_value() || batch_queue_.empty()) return;
-  batch_timer_ = network_->simulator().schedule_after(
-      options_.batch_timeout, [this] {
-        batch_timer_.reset();
-        // Cut whatever accumulated: a partial batch must not wait for
-        // traffic that may never come (liveness of light load).
-        if (!in_view_change_ && is_primary()) cut_batch();
-      });
+  batch_timer_ = sim().schedule_after(options().batch_timeout, [this] {
+    batch_timer_.reset();
+    // Cut whatever accumulated: a partial batch must not wait for
+    // traffic that may never come (liveness of light load).
+    if (!in_view_change_ && is_primary()) cut_batch();
+  });
 }
 
-void Replica::disarm_batch_timer() {
+void Pbft::disarm_batch_timer() {
   if (batch_timer_.has_value()) {
-    network_->simulator().cancel(*batch_timer_);
+    sim().cancel(*batch_timer_);
     batch_timer_.reset();
   }
 }
 
 // --- view change -------------------------------------------------------
 
-void Replica::start_view_change(View target) {
+void Pbft::start_view_change(View target) {
   if (target <= view_) return;
   if (in_view_change_ && target <= pending_view_) return;
   in_view_change_ = true;
   pending_view_ = target;
   ++view_changes_started_;
   FINDEP_BFT_TRACE("t=%.3f [%u] start_vc target=%llu le=%llu pending=%zu\n",
-                   network_->simulator().now(), id_,
-                   (unsigned long long)target,
+                   sim().now(), id(), (unsigned long long)target,
                    (unsigned long long)last_executed_,
                    pending_requests_.size());
   disarm_request_timer();
@@ -783,9 +591,9 @@ void Replica::start_view_change(View target) {
 
   ViewChange vc;
   vc.new_view = target;
-  vc.last_executed = stable_checkpoint_;
+  vc.last_executed = ckpt_.stable();
   for (const auto& [seq, slot] : slots_) {
-    if (slot.prepared && seq > stable_checkpoint_) {
+    if (slot.prepared && seq > ckpt_.stable()) {
       vc.prepared.push_back(
           PreparedEntry{slot.prepared_view, seq, slot.batch});
     }
@@ -794,11 +602,11 @@ void Replica::start_view_change(View target) {
   broadcast(vc);
 }
 
-void Replica::on_viewchange(const ViewChange& vc, ReplicaId from,
-                            const crypto::Signature& signature) {
+void Pbft::on_viewchange(const ViewChange& vc, ReplicaId from,
+                         const crypto::Signature& signature) {
   // A view change states the sender's stable checkpoint — a signed claim
   // usable as state-transfer evidence.
-  note_peer_claim(from, vc.last_executed);
+  fetch_.note_claim(from, vc.last_executed);
   if (vc.new_view <= view_) return;
   auto& votes = viewchange_votes_[vc.new_view];
   const bool already =
@@ -819,12 +627,12 @@ void Replica::on_viewchange(const ViewChange& vc, ReplicaId from,
       (!in_view_change_ || pending_view_ < vc.new_view)) {
     start_view_change(vc.new_view);
   }
-  if (primary_of(vc.new_view) == id_) {
+  if (primary_of(vc.new_view) == id()) {
     maybe_assemble_new_view(vc.new_view);
   }
 }
 
-std::vector<PrePrepare> Replica::compute_reproposals(
+std::vector<PrePrepare> Pbft::compute_reproposals(
     View target, const std::vector<SignedViewChange>& proofs) {
   SeqNum min_s = 0;
   SeqNum max_s = 0;
@@ -849,7 +657,7 @@ std::vector<PrePrepare> Replica::compute_reproposals(
   return out;
 }
 
-void Replica::maybe_assemble_new_view(View target) {
+void Pbft::maybe_assemble_new_view(View target) {
   if (view_ >= target || newview_assembled_for_ >= target) return;
   const auto it = viewchange_votes_.find(target);
   if (it == viewchange_votes_.end()) return;
@@ -857,7 +665,7 @@ void Replica::maybe_assemble_new_view(View target) {
   const bool have_own =
       std::any_of(it->second.begin(), it->second.end(),
                   [this](const SignedViewChange& s) {
-                    return s.sender == id_;
+                    return s.sender == id();
                   });
   if (!have_own) return;
   double weight = 0.0;
@@ -872,16 +680,16 @@ void Replica::maybe_assemble_new_view(View target) {
   broadcast(nv);
 }
 
-bool Replica::verify_new_view(const NewView& nv) const {
+bool Pbft::verify_new_view(const NewView& nv) const {
   // Verify the view-change quorum: distinct senders, valid signatures,
   // matching target view, quorum weight.
   double weight = 0.0;
-  std::vector<bool> seen(weights_.size(), false);
+  std::vector<bool> seen(harness_.n(), false);
   for (const SignedViewChange& s : nv.proofs) {
-    if (s.sender >= weights_.size() || seen[s.sender]) return false;
+    if (s.sender >= harness_.n() || seen[s.sender]) return false;
     if (s.vc.new_view != nv.view) return false;
-    if (!registry_->verify(directory_[s.sender], s.vc.digest(),
-                           s.signature)) {
+    if (!harness_.registry().verify(harness_.directory()[s.sender],
+                                    s.vc.digest(), s.signature)) {
       return false;
     }
     seen[s.sender] = true;
@@ -903,14 +711,14 @@ bool Replica::verify_new_view(const NewView& nv) const {
   return true;
 }
 
-void Replica::on_newview(const NewView& nv, ReplicaId from) {
+void Pbft::on_newview(const NewView& nv, ReplicaId from) {
   if (nv.view <= view_) return;
   if (from != primary_of(nv.view)) return;
   if (!verify_new_view(nv)) return;
   install_new_view(nv);
 }
 
-void Replica::install_new_view(const NewView& nv) {
+void Pbft::install_new_view(const NewView& nv) {
   view_ = nv.view;
   in_view_change_ = false;
   pending_view_ = nv.view;
@@ -922,7 +730,7 @@ void Replica::install_new_view(const NewView& nv) {
   // if a quorum certifies state above our horizon, we missed committed
   // traffic and should fetch rather than wait for the next checkpoint.
   for (const SignedViewChange& s : nv.proofs) {
-    note_peer_claim(s.sender, s.vc.last_executed);
+    fetch_.note_claim(s.sender, s.vc.last_executed);
   }
 
   // Reset consensus state for unexecuted sequence numbers: votes from
@@ -975,109 +783,24 @@ void Replica::install_new_view(const NewView& nv) {
   }
   refresh_request_deadlines();
   arm_request_timer();
-  maybe_schedule_state_fetch();
+  fetch_.maybe_schedule();
 }
 
 // --- state transfer --------------------------------------------------------
 
-void Replica::note_peer_claim(ReplicaId from, SeqNum seq) {
-  if (from >= peer_claims_.size() || from == id_) return;
-  if (seq <= peer_claims_[from]) return;
-  peer_claims_[from] = seq;
-  // A raised claim may tip the > 1/3 evidence threshold — this is the
-  // only trigger a laggard whose vote window the cluster ran past ever
-  // sees, so the fetch machine must watch claims directly.
-  maybe_schedule_state_fetch();
-}
-
-SeqNum Replica::claims_catchup_target() const {
-  // Highest seq S with > 1/3 of voting power claiming >= S beyond our
-  // horizon: walk claims in descending order accumulating weight. The
-  // 1/3 bound guarantees at least one *honest* claimant holds a provable
-  // stable checkpoint at S — Byzantine peers alone (< 1/3) cannot
-  // fabricate a target, and an inflated single claim is skipped over
-  // until honest weight joins the count.
-  std::vector<std::pair<SeqNum, double>> claims;
-  for (ReplicaId r = 0; r < peer_claims_.size(); ++r) {
-    if (r == id_) continue;
-    if (peer_claims_[r] > last_executed_) {
-      claims.emplace_back(peer_claims_[r], weight_of(r));
-    }
-  }
-  std::sort(claims.begin(), claims.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  double weight = 0.0;
-  for (const auto& [seq, w] : claims) {
-    weight += w;
-    if (is_third(weight)) return seq;
-  }
-  return 0;
-}
-
-void Replica::maybe_schedule_state_fetch() {
-  if (!options_.enable_state_transfer) return;
-  if (state_fetch_timer_.has_value()) return;  // already scheduled/awaiting
-  if (claims_catchup_target() == 0) return;
-  // Grace period: in-flight slots usually commit from live traffic
-  // within a round trip; fetch only if the gap persists.
-  state_fetch_timer_ = network_->simulator().schedule_after(
-      options_.state_transfer_grace, [this] {
-        state_fetch_timer_.reset();
-        state_fetch_tick();
-      });
-}
-
-void Replica::state_fetch_tick() {
-  const SeqNum target = claims_catchup_target();
-  if (target == 0) {
-    // Caught up (live traffic or an earlier transfer closed the gap).
-    last_fetch_peer_.reset();
-    return;
-  }
-  // Candidates: every peer whose signed claim reaches the target. Avoid
-  // re-asking the peer that just failed or timed out when there is a
-  // choice ("retry elsewhere").
-  std::vector<ReplicaId> candidates;
-  for (ReplicaId r = 0; r < peer_claims_.size(); ++r) {
-    if (r == id_ || peer_claims_[r] < target) continue;
-    candidates.push_back(r);
-  }
-  if (candidates.empty()) return;
-  if (candidates.size() > 1 && last_fetch_peer_.has_value()) {
-    std::erase(candidates, *last_fetch_peer_);
-  }
-  const ReplicaId peer =
-      candidates[st_rng_.below(candidates.size())];
-  last_fetch_peer_ = peer;
-  ++state_transfer_requests_;
-  send_to(peer, StateRequest{last_executed_});
-  state_fetch_timer_ = network_->simulator().schedule_after(
-      options_.state_transfer_timeout, [this] {
-        state_fetch_timer_.reset();
-        state_fetch_tick();
-      });
-}
-
-void Replica::disarm_state_fetch_timer() {
-  if (state_fetch_timer_.has_value()) {
-    network_->simulator().cancel(*state_fetch_timer_);
-    state_fetch_timer_.reset();
-  }
-}
-
-void Replica::on_state_request(const StateRequest& sr, ReplicaId from) {
-  if (stable_checkpoint_ == 0 || stable_checkpoint_proof_.empty()) return;
-  if (sr.last_executed >= stable_checkpoint_) return;  // nothing to prove
+void Pbft::on_state_request(const StateRequest& sr, ReplicaId from) {
+  if (ckpt_.stable() == 0 || ckpt_.proof().empty()) return;
+  if (sr.last_executed >= ckpt_.stable()) return;  // nothing to prove
   // A replica that adopted a remote stable checkpoint it has not itself
   // executed up to cannot substantiate the digest — decline instead of
   // sending a response the requester would provably reject.
-  if (last_executed_ < stable_checkpoint_) return;
+  if (last_executed_ < ckpt_.stable()) return;
   StateResponse resp;
   resp.request_from = sr.last_executed;
-  resp.checkpoint = Checkpoint{stable_checkpoint_, stable_checkpoint_digest_};
-  resp.proof = stable_checkpoint_proof_;
+  resp.checkpoint = Checkpoint{ckpt_.stable(), ckpt_.digest()};
+  resp.proof = ckpt_.proof();
   for (const ExecutedEntry& e : executed_) {
-    if (e.seq > sr.last_executed && e.seq <= stable_checkpoint_) {
+    if (e.seq > sr.last_executed && e.seq <= ckpt_.stable()) {
       resp.entries.push_back(e);
     }
   }
@@ -1085,38 +808,19 @@ void Replica::on_state_request(const StateRequest& sr, ReplicaId from) {
   send_to(from, std::move(resp));
 }
 
-void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
-  if (!options_.enable_state_transfer) return;
+void Pbft::on_state_response(const StateResponse& resp, ReplicaId from) {
+  if (!options().enable_state_transfer) return;
   if (resp.checkpoint.seq <= last_executed_) return;  // stale/no-op
 
   const auto reject = [&] {
     ++state_transfers_rejected_;
-    if (state_fetch_timer_.has_value()) {
-      // Retry elsewhere immediately instead of waiting out the timer;
-      // last_fetch_peer_ steers the pick away from this responder.
-      disarm_state_fetch_timer();
-      last_fetch_peer_ = from;
-      state_fetch_tick();
-    }
+    fetch_.on_rejected(from);
   };
 
   // 1. The checkpoint must be proven by a quorum of verifiable votes.
-  double weight = 0.0;
-  std::vector<bool> seen(weights_.size(), false);
-  for (const SignedCheckpoint& sc : resp.proof) {
-    if (sc.sender >= weights_.size() || seen[sc.sender]) return reject();
-    if (sc.checkpoint.seq != resp.checkpoint.seq ||
-        sc.checkpoint.state_digest != resp.checkpoint.state_digest) {
-      return reject();
-    }
-    if (!registry_->verify(directory_[sc.sender], sc.checkpoint.digest(),
-                           sc.signature)) {
-      return reject();
-    }
-    seen[sc.sender] = true;
-    weight += weight_of(sc.sender);
+  if (!verify_checkpoint_proof(harness_, resp.checkpoint, resp.proof)) {
+    return reject();
   }
-  if (!is_quorum(weight)) return reject();
 
   // 2. The entries must splice onto our own log — in range, seq-ordered —
   //    and reproduce the proven state digest exactly. Entries below our
@@ -1147,22 +851,12 @@ void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
   }
   last_executed_ = resp.checkpoint.seq;
   ++state_transfers_completed_;
-  if (resp.checkpoint.seq >= stable_checkpoint_) {
-    stable_checkpoint_ = resp.checkpoint.seq;
-    stable_checkpoint_digest_ = resp.checkpoint.state_digest;
-    stable_checkpoint_proof_ = resp.proof;
-  }
-  last_checkpoint_sent_ = std::max(last_checkpoint_sent_, stable_checkpoint_);
+  ckpt_.maybe_adopt(resp.checkpoint, resp.proof);
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= last_executed_ ? slots_.erase(it) : std::next(it);
   }
   colluded_.erase(colluded_.begin(), colluded_.upper_bound(last_executed_));
-  for (auto it = checkpoint_votes_.begin(); it != checkpoint_votes_.end();) {
-    it = it->first <= stable_checkpoint_ ? checkpoint_votes_.erase(it)
-                                         : std::next(it);
-  }
-  disarm_state_fetch_timer();
-  last_fetch_peer_.reset();
+  fetch_.on_adopted();
 
   if (resp.new_view.has_value() && resp.new_view->view > view_ &&
       verify_new_view(*resp.new_view)) {
@@ -1191,8 +885,8 @@ void Replica::on_state_response(const StateResponse& resp, ReplicaId from) {
   }
   // Still behind a credible horizon (e.g. the responder itself lagged)?
   // Go again.
-  maybe_schedule_state_fetch();
+  fetch_.maybe_schedule();
   retry_deferred_cut();  // adoption advanced the stable checkpoint
 }
 
-}  // namespace findep::bft
+}  // namespace findep::replication

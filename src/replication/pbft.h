@@ -1,0 +1,308 @@
+// The PBFT ordering protocol over the layered replication core.
+//
+// Implements the normal three-phase case (pre-prepare / prepare / commit)
+// over *request batches* (one consensus instance orders a block of client
+// requests; see ReplicaOptions::batch_size), checkpointing, and view
+// changes with NEW-VIEW proof verification, using *weighted* quorums:
+// each replica carries a voting power w_i and certificates require
+// strictly more than 2/3 of the total power (for unit weights and
+// n = 3f+1 this is exactly the classic 2f+1). Safety holds while
+// Byzantine power ≤ 1/3 of total — precisely the budget the diversity
+// core bounds via the configuration distribution.
+//
+// Byzantine behaviours built in for fault-injection experiments:
+//   kSilent     — never sends anything (fail-stop from the start).
+//   kEquivocate — as primary, proposes conflicting requests for the same
+//                 sequence number to different halves of the cluster.
+//   kCollude    — kEquivocate as primary, and additionally lends its
+//                 commit weight to *every* digest it hears of (prepare +
+//                 commit without conflict checks). A coalition of
+//                 colluders with power > 1/3 of the total can drive two
+//                 conflicting commit certificates through — the exact
+//                 safety threshold of the paper — whereas any weaker
+//                 coalition (and any number of plain equivocators)
+//                 cannot.
+//   kCensor     — as primary, silently ignores requests with odd ids
+//                 (a client-selective starvation attack: the cluster
+//                 keeps making progress on everything else).
+//
+// Checkpoint-anchored state transfer (DESIGN.md "State transfer"): a
+// replica that observes credible evidence of committed state above its
+// own execution horizon — a stable-checkpoint quorum it adopted, or
+// > 1/3 of voting power claiming checkpoints it has not executed —
+// fetches the missing log suffix from a random up-to-date peer, verifies
+// the checkpoint digest against the signed vote quorum carried in the
+// response, and resumes normal execution. The vote tracking and the
+// fetch machine live in replication/durability.h, shared with every
+// other protocol.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bft/messages.h"
+#include "net/network.h"
+#include "replication/durability.h"
+#include "replication/protocol.h"
+#include "sim/simulator.h"
+
+namespace findep::replication {
+
+class Pbft final : public OrderingProtocol {
+ public:
+  /// `weights[i]` is replica i's voting power; `directory[i]` its public
+  /// key (both indexed by ReplicaId, same size). `keys` must match
+  /// `directory[id]` and be enrolled in `registry`.
+  Pbft(ReplicaId id, std::vector<double> weights,
+       std::vector<crypto::PublicKey> directory,
+       crypto::KeyRegistry& registry, crypto::KeyPair keys,
+       net::SimNetwork& network, ReplicaOptions options);
+
+  /// Attaches the network handler. Call once before the simulation runs.
+  void start() override;
+
+  /// Client entry point: hands a request to this replica (it forwards to
+  /// the primary if needed and arms the liveness timer).
+  void submit(const Request& request) override;
+
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] const std::vector<ExecutedEntry>& executed()
+      const noexcept override {
+    return executed_;
+  }
+  [[nodiscard]] SeqNum last_executed() const noexcept override {
+    return last_executed_;
+  }
+  [[nodiscard]] SeqNum stable_checkpoint() const noexcept override {
+    return ckpt_.stable();
+  }
+  [[nodiscard]] std::uint64_t view_changes_started() const noexcept {
+    return view_changes_started_;
+  }
+  /// PBFT's ordering-progress disruptions are its view changes.
+  [[nodiscard]] std::uint64_t progress_disruptions()
+      const noexcept override {
+    return view_changes_started_;
+  }
+  [[nodiscard]] bool observed_disruption() const noexcept override {
+    return view_changes_started_ > 0 || view_ > 0;
+  }
+  /// Batch cuts deferred by the high-watermark bound (primary only;
+  /// each deferral event counts, including repeats for the same batch).
+  [[nodiscard]] std::uint64_t proposals_deferred() const noexcept override {
+    return proposals_deferred_;
+  }
+  [[nodiscard]] const crypto::Digest& stable_checkpoint_digest()
+      const noexcept override {
+    return ckpt_.digest();
+  }
+  [[nodiscard]] std::uint64_t state_transfers_completed()
+      const noexcept override {
+    return state_transfers_completed_;
+  }
+  [[nodiscard]] std::uint64_t state_transfers_rejected()
+      const noexcept override {
+    return state_transfers_rejected_;
+  }
+  [[nodiscard]] std::uint64_t state_transfer_requests()
+      const noexcept override {
+    return fetch_.requests_sent();
+  }
+  [[nodiscard]] std::uint64_t state_transfer_bytes()
+      const noexcept override {
+    return state_transfer_bytes_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, double>>&
+  commit_times() const noexcept override {
+    return commit_times_;
+  }
+
+  [[nodiscard]] ReplicaId primary_of(View v) const noexcept {
+    return static_cast<ReplicaId>(v % harness_.n());
+  }
+  [[nodiscard]] bool is_primary() const noexcept {
+    return primary_of(view_) == id();
+  }
+
+  /// The batch used to fill sequence gaps during view changes: empty, so
+  /// executing it is a no-op at request granularity.
+  [[nodiscard]] static Batch noop_batch();
+
+  // --- harness → protocol ----------------------------------------------
+  void dispatch_payload(const Envelope& env, net::NodeId raw_from,
+                        std::uint64_t raw_bytes) override;
+  [[nodiscard]] runtime::WorkerPool::StaleCheck verify_stale_check(
+      const Payload& payload) const override;
+  [[nodiscard]] double verify_extra_cost(
+      const Payload& payload) const override;
+
+ private:
+  /// Consensus state of one sequence number. One slot agrees on one
+  /// *batch*; execution unrolls the batch into per-request log entries.
+  struct Slot {
+    bool have_preprepare = false;
+    Batch batch;
+    crypto::Digest batch_digest;
+    /// Votes keyed by digest then sender (handles out-of-order arrival
+    /// and equivocation).
+    std::map<crypto::Digest, std::map<ReplicaId, double>> prepare_votes;
+    std::map<crypto::Digest, std::map<ReplicaId, double>> commit_votes;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+    View prepared_view = 0;
+    bool committed = false;
+  };
+
+  // --- dispatch ---------------------------------------------------------
+  void on_request(const Request& request, net::NodeId from);
+  void on_preprepare(const PrePrepare& pp, ReplicaId from);
+  void on_prepare(const Prepare& p, ReplicaId from);
+  void on_commit(const Commit& c, ReplicaId from);
+  void on_checkpoint(const Checkpoint& cp, ReplicaId from,
+                     const crypto::Signature& signature);
+  void on_viewchange(const ViewChange& vc, ReplicaId from,
+                     const crypto::Signature& signature);
+  void on_newview(const NewView& nv, ReplicaId from);
+  void on_state_request(const StateRequest& sr, ReplicaId from);
+  void on_state_response(const StateResponse& resp, ReplicaId from);
+
+  // --- normal case ------------------------------------------------------
+  void enqueue_for_proposal(const Request& request);
+  void cut_batch();
+  /// Re-attempts a batch cut that the high-watermark bound deferred.
+  /// Called wherever the stable checkpoint advances.
+  void retry_deferred_cut();
+  void propose(Batch batch);
+  void accept_preprepare(const PrePrepare& pp);
+  void maybe_prepared(SeqNum seq);
+  void maybe_committed(SeqNum seq);
+  void execute_ready();
+  void maybe_checkpoint();
+
+  // --- view change ------------------------------------------------------
+  void replay_future_messages();
+  void start_view_change(View target);
+  void maybe_assemble_new_view(View target);
+  [[nodiscard]] static std::vector<PrePrepare> compute_reproposals(
+      View target, const std::vector<SignedViewChange>& proofs);
+  /// Verifies a NEW-VIEW's embedded view-change quorum and recomputed
+  /// re-proposals (shared by on_newview and state-transfer adoption —
+  /// NEW-VIEW is self-certifying, so it can be relayed).
+  [[nodiscard]] bool verify_new_view(const NewView& nv) const;
+  void install_new_view(const NewView& nv);
+
+  // --- state transfer ---------------------------------------------------
+  /// State digest of this log extended by `extra` (what maybe_checkpoint
+  /// hashes, and what a state response's entries must reproduce).
+  [[nodiscard]] crypto::Digest state_digest_with(
+      const std::vector<ExecutedEntry>& extra) const;
+
+  // --- helpers ----------------------------------------------------------
+  [[nodiscard]] const ReplicaOptions& options() const noexcept {
+    return harness_.options();
+  }
+  [[nodiscard]] sim::Simulator& sim() const noexcept {
+    return harness_.simulator();
+  }
+  void broadcast(Payload payload) { harness_.broadcast(std::move(payload)); }
+  void send_to(net::NodeId to, Payload payload) {
+    harness_.send_to(to, std::move(payload));
+  }
+  [[nodiscard]] double weight_of(ReplicaId r) const {
+    return harness_.weight_of(r);
+  }
+  [[nodiscard]] double vote_weight(
+      const std::map<ReplicaId, double>& votes) const {
+    return harness_.vote_weight(votes);
+  }
+  [[nodiscard]] bool is_quorum(double weight) const noexcept {
+    return harness_.is_quorum(weight);
+  }
+  [[nodiscard]] bool is_third(double weight) const noexcept {
+    return harness_.is_third(weight);
+  }
+  /// Registers a liveness deadline for a request id that just became
+  /// pending (no-op if one is already tracked — retransmissions must not
+  /// push a starved request's deadline back).
+  void track_request_deadline(std::uint64_t request_id);
+  /// Rebases every tracked deadline to now + request_timeout (view
+  /// installation and state-transfer adoption grant the new regime a
+  /// fresh timeout, as the single-timer design did).
+  void refresh_request_deadlines();
+  void arm_request_timer();
+  void disarm_request_timer();
+  void request_timer_fired();
+  /// kCollude: endorse (prepare + commit) a digest we heard of, once.
+  void collude_endorse(View v, SeqNum seq, const crypto::Digest& digest);
+  void arm_viewchange_timer(View target);
+  void disarm_viewchange_timer();
+  void arm_batch_timer();
+  void disarm_batch_timer();
+
+  View view_ = 0;
+  bool in_view_change_ = false;
+  View pending_view_ = 0;
+  SeqNum next_seq_ = 1;  // primary's allocator
+  std::map<SeqNum, Slot> slots_;
+  SeqNum last_executed_ = 0;
+  std::vector<ExecutedEntry> executed_;
+  std::unordered_map<std::uint64_t, Request> pending_requests_;
+  std::unordered_map<std::uint64_t, SeqNum> assigned_;  // primary only
+  std::unordered_map<std::uint64_t, bool> executed_ids_;
+  /// (request id, simulated commit time) per request executed here —
+  /// feeds the commit-latency percentiles in the protocol-comparison
+  /// scenarios. Recording is observationally pure: no messages, timers
+  /// or branches depend on it, so legacy runs stay bit-identical.
+  std::vector<std::pair<std::uint64_t, double>> commit_times_;
+
+  /// Primary-side batching: requests accepted but not yet proposed, in
+  /// arrival order, plus their ids for O(1) duplicate suppression.
+  std::vector<Request> batch_queue_;
+  std::unordered_map<std::uint64_t, bool> queued_ids_;
+  /// A batch cut is waiting for the stable checkpoint to advance
+  /// (high-watermark back-pressure).
+  bool cut_deferred_ = false;
+  std::uint64_t proposals_deferred_ = 0;
+
+  /// Shared durability layer: checkpoint votes/proofs and the
+  /// claims-driven state-transfer fetch machine.
+  CheckpointStore ckpt_;
+  StateFetchMachine fetch_;
+  std::uint64_t state_transfers_completed_ = 0;
+  std::uint64_t state_transfers_rejected_ = 0;
+  std::uint64_t state_transfer_bytes_ = 0;
+
+  std::map<View, std::vector<SignedViewChange>> viewchange_votes_;
+  View newview_assembled_for_ = 0;
+  std::uint64_t view_changes_started_ = 0;
+  /// The NEW-VIEW we last installed, relayed inside state responses so a
+  /// requester that missed the view change can re-verify and adopt it.
+  std::optional<NewView> last_new_view_;
+
+  /// Normal-case messages that arrived for a view we have not installed
+  /// yet (we lag behind a view change); replayed after installation.
+  /// Replaces the retransmission machinery of a real deployment.
+  std::vector<Envelope> future_messages_;
+
+  /// Per-request liveness deadlines in arrival order. Deadlines are
+  /// nondecreasing (every entry is its arm-time + request_timeout), so
+  /// one simulator timer armed for the front entry suffices; entries
+  /// whose request already executed are popped lazily. This is what
+  /// detects client-selective starvation: progress on *other* requests
+  /// never pushes a starved request's deadline back.
+  std::deque<std::pair<double, std::uint64_t>> request_deadlines_;
+  /// kCollude bookkeeping: digests already endorsed per seq (pruned with
+  /// slots_ at checkpoints).
+  std::map<SeqNum, std::vector<crypto::Digest>> colluded_;
+
+  std::optional<sim::EventId> request_timer_;
+  std::optional<sim::EventId> viewchange_timer_;
+  std::optional<sim::EventId> batch_timer_;
+};
+
+}  // namespace findep::replication

@@ -257,7 +257,8 @@ int run_families_main(
                                         options.out_file + "'");
     }
     try {
-      emit_task_catalog(selection, options.sweep, options.only, *dest);
+      emit_task_catalog(selection, options.sweep, options.only,
+                        options.exclude, *dest);
     } catch (const std::exception& e) {
       return usage_error(std::cerr, e.what());
     }

@@ -43,8 +43,8 @@ std::vector<std::string> split_commas(const std::string& text) {
 
 void print_usage(std::ostream& err) {
   err << "usage: [--seed S] [--seeds K] [--threads T] [--only SUBSTR] "
-         "[--family NAME[,NAME]] [--set AXIS=V[,V]] [--list] [--csv] "
-         "[--json] [--out FILE]\n"
+         "[--exclude SUBSTR] [--family NAME[,NAME]] [--set AXIS=V[,V]] "
+         "[--list] [--csv] [--json] [--out FILE]\n"
          "       [--emit-tasks | --worker | --merge SHARD...]  "
          "(distributed sweep; see DESIGN.md)\n";
 }
@@ -123,6 +123,11 @@ bool parse_suite_options(int argc, const char* const* argv,
       options.sweep.threads = static_cast<std::size_t>(parsed);
     } else if (arg == "--only") {
       options.only = value;
+    } else if (arg == "--exclude") {
+      if (value.empty()) {
+        return fail(err, "--exclude expects a non-empty substring");
+      }
+      options.exclude = value;
     } else if (arg == "--out") {
       if (value.empty()) return fail(err, "--out expects a file path");
       options.out_file = value;
@@ -203,6 +208,10 @@ int ScenarioSuite::run(const SuiteOptions& options, std::ostream& out,
   for (const auto& scenario : scenarios_) {
     if (!options.only.empty() &&
         scenario->name().find(options.only) == std::string::npos) {
+      continue;
+    }
+    if (!options.exclude.empty() &&
+        scenario->name().find(options.exclude) != std::string::npos) {
       continue;
     }
     selected.push_back(scenario.get());

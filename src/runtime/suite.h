@@ -11,6 +11,9 @@
 //   --seeds K     seeds per scenario (default 3)
 //   --threads T   worker threads (default: hardware concurrency)
 //   --only SUB    run only scenarios whose name contains SUB
+//   --exclude SUB skip scenarios whose name contains SUB (applied after
+//                 --only; what CI uses to carve protocol-comparison
+//                 cells out of byte-identity cmp's)
 //   --family F    run only the named families (repeatable / comma list;
 //                 interpreted by the registry driver, run_families_main)
 //   --set A=V,V   override grid axis A with the listed values (registry
@@ -55,6 +58,7 @@ struct AxisOverride {
 struct SuiteOptions {
   SweepOptions sweep{.base_seed = 1, .num_seeds = 3, .threads = 0};
   std::string only;                    // substring filter; empty = all
+  std::string exclude;                 // drop names containing this
   std::vector<std::string> families;   // --family; empty = all
   std::vector<AxisOverride> sets;      // --set axis=v1,v2
   bool list = false;

@@ -460,7 +460,8 @@ TaskResult task_result_from_json(const std::string& text) {
 
 std::size_t emit_task_catalog(const FamilySelection& selection,
                               const SweepOptions& sweep,
-                              const std::string& only, std::ostream& out) {
+                              const std::string& only,
+                              const std::string& exclude, std::ostream& out) {
   std::size_t sequence = 0;
   std::size_t emitted = 0;
   for (const auto& [family, grids] : selection) {
@@ -485,6 +486,10 @@ std::size_t emit_task_catalog(const FamilySelection& selection,
       const std::size_t seq = sequence++;
       if (!only.empty() &&
           scenario->name().find(only) == std::string::npos) {
+        continue;
+      }
+      if (!exclude.empty() &&
+          scenario->name().find(exclude) != std::string::npos) {
         continue;
       }
       for (std::size_t i = 0; i < sweep.num_seeds; ++i) {

@@ -93,13 +93,15 @@ using FamilySelection =
 /// Coordinator: expands `selection` into task JSONL on `out`,
 /// scenario-major (all run indices of one instance consecutively),
 /// `num_seeds` tasks per instance, `sequence` numbering instances in
-/// catalog order. Instances whose name does not contain `only` are
-/// skipped (same filter as the in-process sweep). Factories run once per
-/// instance so parameter validation fails here, not on a worker. Returns
-/// the number of tasks emitted; throws on a factory error.
+/// catalog order. Instances whose name does not contain `only`, or does
+/// contain a non-empty `exclude`, are skipped (same filters as the
+/// in-process sweep). Factories run once per instance so parameter
+/// validation fails here, not on a worker. Returns the number of tasks
+/// emitted; throws on a factory error.
 std::size_t emit_task_catalog(const FamilySelection& selection,
                               const SweepOptions& sweep,
-                              const std::string& only, std::ostream& out);
+                              const std::string& only,
+                              const std::string& exclude, std::ostream& out);
 
 /// Worker: reads task JSONL from `in` (blank lines ignored), executes
 /// every task through the global registry on `threads` workers via the

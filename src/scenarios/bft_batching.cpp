@@ -30,6 +30,16 @@ const runtime::ScenarioRegistration kBftBatching{{
                                {"n", {4, 10, 25}},
                                {"requests", {16}},
                                {"offered_load", {0.0}}},
+            // Batching under the HotStuff lane: the pipeline amortizes a
+            // whole batch behind one proposal per round, so the
+            // msgs-per-committed-request curve falls faster in batch
+            // size than PBFT's (whose three phases each pay the
+            // quadratic fan-out regardless of batch width).
+            runtime::ParamGrid{{"batch_size", {2, 8}},
+                               {"n", {4, 10, 25}},
+                               {"requests", {16}},
+                               {"offered_load", {0.0}},
+                               {"protocol", {"hotstuff"}}},
         },
     .factory =
         [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "replication/options.h"
 #include "runtime/param.h"
 #include "runtime/scenario.h"
 
@@ -44,6 +45,11 @@ class BftChurnScenario : public runtime::Scenario {
     double outage_start = 1.0;
     double tail_s = 2.0;
     double deadline = 60.0;
+    /// Ordering protocol (the optional `protocol` axis); when it came
+    /// from a grid that spells it out, the label ends in " proto=<name>"
+    /// (legacy protocol-less cells keep their historical labels).
+    replication::Protocol protocol = replication::Protocol::kPbft;
+    bool protocol_axis = false;
     std::string label;
   };
 

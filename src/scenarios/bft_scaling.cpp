@@ -36,6 +36,7 @@ runtime::MetricRecord BftScalingScenario::run(
   options.replica.view_change_timeout = params_.view_change_timeout;
   options.replica.cost_model = params_.cost_model;
   options.replica.crypto_workers = params_.workers;
+  options.protocol = params_.protocol;
   bft::BftCluster cluster(params_.n, options, params_.behaviors);
   if (params_.offered_load > 0.0) {
     // Open-loop arrivals: request i enters at i / rate. Submission runs
@@ -53,10 +54,13 @@ runtime::MetricRecord BftScalingScenario::run(
 
   const auto requests = static_cast<std::uint64_t>(params_.requests);
   const net::TrafficStats& stats = cluster.network().stats();
+  // progress_disruptions() is view_changes_started() on a PBFT node, so
+  // the metric (and its name, kept for catalog stability) is unchanged
+  // there; on HotStuff it counts pacemaker timeouts.
   std::uint64_t view_changes = 0;
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     view_changes = std::max(view_changes,
-                            cluster.replica(i).view_changes_started());
+                            cluster.node(i).progress_disruptions());
   }
   const std::size_t committed = cluster.completed_requests();
   const double span = cluster.last_completion_time();
@@ -83,6 +87,18 @@ runtime::MetricRecord BftScalingScenario::run(
   metrics.set("requests_per_second",
               span > 0.0 ? static_cast<double>(committed) / span : 0.0);
   metrics.set("max_view_changes", static_cast<double>(view_changes));
+  if (params_.protocol_axis) {
+    // Commit-latency distribution (simulated clock, nearest-rank). Only
+    // emitted for protocol-comparison cells so legacy records stay
+    // byte-identical; deterministic per (instance, seed) like every
+    // other simulated quantity, so the perf gate may pin these exactly.
+    metrics.set("commit_latency_p50_ms",
+                committed > 0 ? cluster.latency_percentile(0.5) * 1000.0
+                              : -1.0);
+    metrics.set("commit_latency_p99_ms",
+                committed > 0 ? cluster.latency_percentile(0.99) * 1000.0
+                              : -1.0);
+  }
   if (!params_.cost_model.is_free()) {
     // Modeled-crypto observability. Gated on the cost model so the
     // crypto=free record stays byte-identical to historical output (the
@@ -123,7 +139,8 @@ std::string BftScalingScenario::grid_label(std::size_t n,
                                            int requests,
                                            double offered_load,
                                            const std::string& crypto,
-                                           std::size_t workers) {
+                                           std::size_t workers,
+                                           const std::string& protocol) {
   std::string label = "n=" + std::to_string(n);
   if (mix != "honest") label += " " + mix;
   if (batch_size != 1) label += " b=" + std::to_string(batch_size);
@@ -139,6 +156,8 @@ std::string BftScalingScenario::grid_label(std::size_t n,
   if (workers != 1 || crypto != "free") {
     label += " w=" + std::to_string(workers);
   }
+  // The protocol suffix is always last (see the header doc).
+  if (!protocol.empty()) label += " proto=" + protocol;
   return label;
 }
 
@@ -153,6 +172,10 @@ std::unique_ptr<runtime::Scenario> BftScalingScenario::from_params(
   const std::string crypto =
       p.has("crypto") ? p.get_string("crypto") : "free";
   const std::size_t workers = p.has("workers") ? p.get_size("workers") : 1;
+  // The protocol axis is optional the same way: absent means the
+  // historical PBFT lane with no label suffix and no extra metrics.
+  const std::string protocol =
+      p.has("protocol") ? p.get_string("protocol") : "";
   // A non-free cost model is a throughput study, not a liveness one:
   // park the timers so a saturated single-core replica is measured
   // instead of view-changed (see Params::request_timeout).
@@ -167,8 +190,11 @@ std::unique_ptr<runtime::Scenario> BftScalingScenario::from_params(
       .view_change_timeout = modeled ? 45.0 : 1.5,
       .cost_model = crypto::CostModel::parse(crypto),
       .workers = workers,
+      .protocol = protocol.empty() ? replication::Protocol::kPbft
+                                   : replication::parse_protocol(protocol),
+      .protocol_axis = !protocol.empty(),
       .label = grid_label(n, mix, batch_size, requests, offered_load,
-                          crypto, workers)});
+                          crypto, workers, protocol)});
 }
 
 namespace {
@@ -210,6 +236,21 @@ const runtime::ScenarioRegistration kBftScaling{{
                                {"offered_load", {0.0}},
                                {"crypto", {"modeled"}},
                                {"workers", {1, 2, 4, 8}}},
+            // The protocol-comparison lane: the same request block
+            // through PBFT's all-to-all commit and HotStuff's chained
+            // leader-relayed pipeline, swept across committee sizes.
+            // msgs_per_committed_request is quadratic in n on the PBFT
+            // side and linear on the HotStuff side, so the ordering
+            // flips as n grows (asserted in tests, pinned in the perf
+            // gate for every cell).
+            runtime::ParamGrid{{"n", {4, 10, 25, 50}},
+                               {"mix", {"honest"}},
+                               {"batch_size", {4}},
+                               {"requests", {64}},
+                               {"offered_load", {0.0}},
+                               {"crypto", {"free"}},
+                               {"workers", {1}},
+                               {"protocol", {"pbft", "hotstuff"}}},
         },
     .factory =
         [](const runtime::ParamSet& p) -> std::unique_ptr<runtime::Scenario> {

@@ -414,7 +414,7 @@ TEST(CampaignDistributed, TwoShardMergeIsByteIdenticalToInProcess) {
 
   // Round-robin shard the emitted tasks across two workers, then merge.
   std::ostringstream tasks;
-  (void)runtime::emit_task_catalog(selection, options.sweep, "", tasks);
+  (void)runtime::emit_task_catalog(selection, options.sweep, "", "", tasks);
   std::vector<std::string> shard_tasks(2);
   std::istringstream task_lines(tasks.str());
   std::string line;

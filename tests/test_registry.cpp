@@ -223,8 +223,9 @@ TEST(ScenarioRegistry, InstantiateExpandsEveryGrid) {
   const auto scenarios = instantiate_family(*family, family->grids);
   EXPECT_EQ(scenarios.size(), family->instance_count());
   // 6 sizes + 4 fault mixes + the modeled-crypto worker lane (2 sizes ×
-  // 4 worker counts).
-  EXPECT_EQ(scenarios.size(), 18u);
+  // 4 worker counts) + the protocol-comparison lane (4 sizes × 2
+  // protocols).
+  EXPECT_EQ(scenarios.size(), 26u);
 }
 
 // --- the global work queue vs serial ---------------------------------------

@@ -305,7 +305,7 @@ std::string run_distributed(const FamilySelection& selection,
                             const SuiteOptions& options, std::size_t shards,
                             bool csv, bool json) {
   std::ostringstream tasks;
-  emit_task_catalog(selection, options.sweep, options.only, tasks);
+  emit_task_catalog(selection, options.sweep, options.only, "", tasks);
 
   // Round-robin sharding: deliberately NOT contiguous, so the merge's
   // sequence-based ordering (not shard order) is what restores catalog
@@ -364,7 +364,7 @@ TEST(DistributedSweep, EmitTasksShapeAndSeedDerivation) {
   const FamilySelection selection = shrunken_selection();
   SweepOptions sweep{.base_seed = 3, .num_seeds = 2, .threads = 0};
   std::ostringstream out;
-  const std::size_t emitted = emit_task_catalog(selection, sweep, "", out);
+  const std::size_t emitted = emit_task_catalog(selection, sweep, "", "", out);
 
   std::size_t instances = 0;
   for (const auto& [family, grids] : selection) {
@@ -419,7 +419,7 @@ TEST(DistributedSweep, MergeKeepsSameNamedInstancesApart) {
 TEST(DistributedSweep, WorkerOutputIndependentOfThreadCount) {
   const FamilySelection selection = shrunken_selection();
   std::ostringstream tasks;
-  emit_task_catalog(selection, {.base_seed = 5, .num_seeds = 1}, "", tasks);
+  emit_task_catalog(selection, {.base_seed = 5, .num_seeds = 1}, "", "", tasks);
 
   std::string outputs[2];
   for (int i = 0; i < 2; ++i) {
